@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures via the
+harnesses in :mod:`repro.experiments`, asserts the paper's qualitative
+shape, prints the rendered table (run with ``-s`` to see them) and
+reports the regeneration time through pytest-benchmark.
+
+Benchmarks run each harness exactly once (``pedantic`` with one round):
+the harnesses are full experiments — medians of repeated simulated
+jobs — not microkernels to be re-sampled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def regenerate(benchmark, fn, **kwargs):
+    """Run ``fn(**kwargs)`` once under the benchmark timer and return
+    its result."""
+    result = benchmark.pedantic(
+        lambda: fn(**kwargs), iterations=1, rounds=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def bench(benchmark):
+    def _run(fn, **kwargs):
+        return regenerate(benchmark, fn, **kwargs)
+
+    return _run

@@ -1,0 +1,17 @@
+"""Figure 1 bench: the 200 ms power trace with the analysis idle
+plateau near ~105 W."""
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_power_trace(bench):
+    res = bench(
+        run_fig1, analyses=("vacf",), dim=16, n_nodes=128, n_verlet_steps=40
+    )
+    # The low-demand analysis idles at the spin-wait level between
+    # synchronizations (paper: ~105 W plateaus).
+    assert 95.0 < res.ana_idle_watts < 110.0
+    # ...and its active level is clearly above the idle plateau.
+    assert res.ana_active_watts > res.ana_idle_watts + 2.0
+    # the simulation runs hot throughout
+    assert res.sim_watts.mean() > res.ana_watts.mean()

@@ -1,0 +1,12 @@
+"""Figure 2 bench: the worked allocation example (210 W, ~77 s)."""
+
+import pytest
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_worked_example(bench):
+    res = bench(run_fig2)
+    assert res.finish_time_s == pytest.approx(77.1, abs=0.2)
+    assert res.blue_power_w > 90.0  # the starved task gains power
+    assert res.red_power_w < 120.0

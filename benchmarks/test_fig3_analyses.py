@@ -1,0 +1,35 @@
+"""Figure 3 bench: the headline comparison across analyses and scales.
+
+Shape targets (paper abstract + §VII-B): power-aware negative in all
+cases; time-aware positive on low-demand analyses at 128 nodes but
+negative on full MSD and at 1024 nodes; SeeSAw positive everywhere.
+"""
+
+from repro.experiments import run_fig3a, run_fig3b
+
+
+def test_fig3a_different_analyses(bench):
+    res = bench(run_fig3a, n_runs=3, n_verlet_steps=200)
+    for label, nodes, imps in res.rows:
+        # SeeSAw never loses to the baseline (abstract: +4..30 %)
+        assert imps["seesaw"] > -1.0, (label, imps)
+        # the strictly power-aware approach always loses (up to ~-25 %)
+        assert imps["power-aware"] < 0.0, (label, imps)
+    # time-aware is competitive on the low-demand analyses...
+    for label in ("RDF (dim 36)", "VACF (dim 36)"):
+        assert res.improvement(label, 128, "time-aware") > 5.0, label
+    for label in ("MSD1D (dim 16)", "MSD2D (dim 16)"):
+        assert res.improvement(label, 128, "time-aware") > 0.0, label
+    # ...but loses on the high-demand full MSD (Fig. 4b's lock-in)
+    assert res.improvement("full MSD (dim 16)", 128, "time-aware") < -3.0
+
+
+def test_fig3b_scales(bench):
+    res = bench(run_fig3b, n_runs=3, n_verlet_steps=200)
+    for label, nodes, imps in res.rows:
+        assert imps["seesaw"] > -1.0, (label, nodes)
+        assert imps["power-aware"] < 0.0, (label, nodes)
+    # at 1024 nodes the time-aware approach degrades severely on the
+    # mixed/high-demand workloads (§VII-B3)
+    assert res.improvement("all (dim 48)", 1024, "time-aware") < -5.0
+    assert res.improvement("full MSD (dim 16)", 1024, "time-aware") < -5.0

@@ -1,0 +1,32 @@
+"""Figure 6 bench: SeeSAw window w x LAMMPS sync rate j at 1024 nodes.
+
+Paper shapes (§VII-C1): allocating power frequently is favorable over
+infrequent re-allocations; with rare synchronizations (large j) SeeSAw
+has few chances to fix inefficient distributions, so w=1 is best
+there; at j=1 a small window is fine (and guards anomalies) while a
+huge window forfeits most opportunities.
+"""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_sensitivity(bench):
+    res = bench(
+        run_fig6,
+        j_values=(1, 10, 40),
+        w_values=(1, 2, 5, 10, 20),
+        n_runs=3,
+        n_verlet_steps=400,
+    )
+    # Rare synchronizations: allocate at every opportunity — the
+    # penalty for waiting w windows is strong and monotone.
+    assert res.improvement(40, 1) > res.improvement(40, 5) + 1.0
+    assert res.improvement(10, 1) > res.improvement(10, 5)
+    # At j=1 a small window (w in 1..5) performs comparably...
+    small = [res.improvement(1, w) for w in (1, 2, 5)]
+    assert max(small) - min(small) < 1.5
+    # ...while a very large window forfeits opportunities relative to
+    # the best small-window setting.
+    assert res.improvement(1, 20) <= max(small) + 0.3
+    # SeeSAw never loses to static anywhere on the grid.
+    assert all(v > -1.0 for v in res.grid.values())

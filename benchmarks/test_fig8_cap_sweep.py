@@ -1,0 +1,16 @@
+"""Figure 8 bench: diminishing returns with more power headroom."""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_cap_sweep(bench):
+    res = bench(run_fig8, n_runs=3, n_verlet_steps=300)
+    imps = res.improvements
+    # Highest improvements in the 110-120 W band (paper §VII-D).
+    assert 105.0 <= res.best_cap <= 125.0
+    # No headroom to shift at the 98 W hardware floor.
+    assert abs(imps[98.0]) < 1.0
+    # Diminishing returns beyond ~140 W: LAMMPS cannot use the power.
+    assert imps[110.0] > imps[140.0]
+    for cap in (160.0, 180.0, 215.0):
+        assert abs(imps[cap]) < 2.0, cap

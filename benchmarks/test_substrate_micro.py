@@ -1,0 +1,106 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Unlike the figure benches (one-shot experiment regenerations), these
+time the hot paths with pytest-benchmark's normal repeated sampling, so
+substrate performance regressions show up as timing changes:
+
+* discrete-event engine throughput,
+* vectorized phase execution across a 512-node partition,
+* a full 128-node proxy job,
+* one Verlet step of the real MD engine,
+* a simulated-MPI allreduce round.
+"""
+
+import numpy as np
+
+from repro.cluster.node import THETA_NODE
+from repro.core import StaticController
+from repro.des import Delay, Engine, Process
+from repro.md import VelocityVerlet, water_ion_box
+from repro.mpi import MpiWorld
+from repro.power.execution import execute_phase
+from repro.power.rapl import RaplDomainArray
+from repro.workloads import JobConfig, run_job
+from repro.workloads.profiles import PHASES
+
+
+def test_engine_event_throughput(benchmark):
+    def run():
+        eng = Engine()
+        for i in range(10_000):
+            eng.schedule(float(i), lambda: None)
+        eng.run()
+        return eng.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_process_switch_throughput(benchmark):
+    def run():
+        eng = Engine()
+
+        def body():
+            for _ in range(2_000):
+                yield Delay(0.001)
+
+        Process(eng, body())
+        eng.run()
+        return eng.now
+
+    assert benchmark(run) > 0
+
+
+def test_vectorized_phase_execution_512_nodes(benchmark):
+    dom = RaplDomainArray(THETA_NODE, 512, 110.0, actuation_delay_s=0.0)
+    noise = np.random.default_rng(0).lognormal(0.0, 0.01, 512)
+
+    def run():
+        out = execute_phase(
+            PHASES["force"], THETA_NODE, 2.0, dom, 0.0, noise_factors=noise
+        )
+        return out.slowest
+
+    assert benchmark(run) > 0
+
+
+def test_proxy_job_128_nodes(benchmark):
+    def run():
+        cfg = JobConfig(
+            analyses=("full_msd",),
+            dim=16,
+            n_nodes=128,
+            n_verlet_steps=100,
+            seed=1,
+        )
+        ctl = StaticController(cfg.budget_w, cfg.n_sim, cfg.n_ana, THETA_NODE)
+        return run_job(cfg, ctl).total_time_s
+
+    assert benchmark(run) > 0
+
+
+def test_md_verlet_step(benchmark):
+    system = water_ion_box(dim=1, seed=1)
+    integrator = VelocityVerlet(system, dt=0.0005, thermostat_t=1.0)
+    integrator.run(5)  # settle neighbor list churn
+
+    def run():
+        return integrator.step().pair_count
+
+    assert benchmark(run) > 0
+
+
+def test_mpi_allreduce_round(benchmark):
+    def run():
+        eng = Engine()
+        world = MpiWorld(eng, 32)
+
+        def main(rank, comm):
+            total = 0
+            for _ in range(20):
+                total = yield comm.allreduce(rank, rank)
+            return total
+
+        results = world.run(main)
+        return results[0]
+
+    assert benchmark(run) == sum(range(32))

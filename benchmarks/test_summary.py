@@ -1,0 +1,9 @@
+"""The whole paper in one table: every headline claim, checked."""
+
+from repro.experiments import run_summary
+
+
+def test_reproduction_summary(bench):
+    res = bench(run_summary, n_runs=3, n_verlet_steps=200)
+    failures = [c.claim for c in res.claims if not c.ok]
+    assert res.all_pass, f"claims missed: {failures}"

@@ -1,0 +1,19 @@
+"""Table I bench: run-to-run / job-to-job variability under cap modes."""
+
+from repro.experiments import run_table1
+from repro.power.rapl import CapMode
+
+
+def test_table1_variability(bench):
+    res = bench(run_table1, n_runs=7, dims=(36, 48), n_verlet_steps=200)
+    for dim in (36, 48):
+        run_none = res.variability(CapMode.NONE, dim, "run-to-run")
+        run_long = res.variability(CapMode.LONG, dim, "run-to-run")
+        run_ls = res.variability(CapMode.LONG_SHORT, dim, "run-to-run")
+        # capping both windows is by far the noisiest (paper: 2.1-5.5 %
+        # vs sub-1 % otherwise)
+        assert run_ls > 2.0 * max(run_none, run_long)
+        assert run_none < 1.5
+        # job-to-job exceeds run-to-run under the paper's default cap
+        job_long = res.variability(CapMode.LONG, dim, "job-to-job")
+        assert job_long > run_long

@@ -1,0 +1,17 @@
+"""Legacy installer shim for environments without PEP 660 tooling.
+
+``pip install -e .`` is the normal path; offline environments without
+the ``wheel`` package can use ``python setup.py develop``. The console
+script is declared here as well because legacy ``develop`` predates the
+``[project.scripts]`` table.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "seesaw-experiments = repro.experiments.cli:main",
+        ]
+    }
+)

@@ -1,0 +1,50 @@
+"""In-situ analyses: the five LAMMPS built-ins of the paper's §VI-C.
+
+* :class:`RadialDistribution` — hydronium/ion RDF (compute-bound);
+* :class:`VelocityAutocorrelation` — VACF (low demand);
+* :class:`MSD1D`, :class:`MSD2D` — spatially binned mean-squared
+  displacements (low demand / memory-intensive);
+* :class:`FullMSD` — MSD1D + MSD2D + final all-particle averaging (the
+  high-demand workload, §VII-B1);
+* :func:`make_analysis` — registry used by examples and the workload
+  layer.
+"""
+
+from repro.analysis.base import Analysis, Frame, frame_from_system, molecule_centers
+from repro.analysis.msd import MSD1D, MSD2D, FullMSD, MeanSquaredDisplacement
+from repro.analysis.rdf import RadialDistribution
+from repro.analysis.vacf import VelocityAutocorrelation
+
+__all__ = [
+    "Analysis",
+    "Frame",
+    "FullMSD",
+    "MSD1D",
+    "MSD2D",
+    "MeanSquaredDisplacement",
+    "RadialDistribution",
+    "VelocityAutocorrelation",
+    "frame_from_system",
+    "make_analysis",
+    "molecule_centers",
+]
+
+_REGISTRY = {
+    "rdf": RadialDistribution,
+    "vacf": VelocityAutocorrelation,
+    "msd": MeanSquaredDisplacement,
+    "msd1d": MSD1D,
+    "msd2d": MSD2D,
+    "full_msd": FullMSD,
+}
+
+
+def make_analysis(name: str, **kwargs) -> Analysis:
+    """Instantiate an analysis by its registry name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown analysis {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,49 @@
+"""Velocity auto-correlation function (VACF).
+
+``C(t) = <v(0) · v(t)> / <v(0) · v(0)>`` averaged over all molecules
+(center-of-mass velocities), with the first processed frame defining
+the time origin — matching LAMMPS' ``compute vacf``. The paper
+characterizes VACF as a low-demand analysis (low memory and CPU,
+§VI-C): one dot product per molecule per frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.base import Analysis, Frame, molecule_centers
+from repro.md.system import MASSES
+
+__all__ = ["VelocityAutocorrelation"]
+
+
+class VelocityAutocorrelation(Analysis):
+    """Molecule-averaged VACF with the first frame as origin."""
+
+    name = "vacf"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._v0: np.ndarray | None = None
+        self._v0_norm: float = 0.0
+        self._series: list[tuple[float, float]] = []  # (time, C(t))
+
+    def _process(self, frame: Frame) -> int:
+        _, _, com_vel = molecule_centers(frame, MASSES[frame.types])
+        if self._v0 is None:
+            self._v0 = com_vel.copy()
+            self._v0_norm = float(np.mean(np.sum(com_vel**2, axis=1)))
+            if self._v0_norm == 0:
+                raise ValueError("zero initial velocities; VACF undefined")
+        if len(com_vel) != len(self._v0):
+            raise ValueError("molecule count changed between frames")
+        c_t = float(np.mean(np.sum(self._v0 * com_vel, axis=1)))
+        self._series.append((frame.time, c_t / self._v0_norm))
+        return len(com_vel)
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """Returns ``(times, C)`` with ``C[0] == 1``."""
+        if not self._series:
+            return np.zeros(0), np.zeros(0)
+        arr = np.asarray(self._series)
+        return arr[:, 0], arr[:, 1]

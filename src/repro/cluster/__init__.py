@@ -1,0 +1,18 @@
+"""Cluster substrate: node hardware model, machine specs, interconnect, noise."""
+
+from repro.cluster.interconnect import Interconnect, InterconnectSpec
+from repro.cluster.machine import MachineSpec, theta, xeon_cluster
+from repro.cluster.node import THETA_NODE, NodeSpec
+from repro.cluster.noise import NoiseConfig, NoiseModel
+
+__all__ = [
+    "Interconnect",
+    "InterconnectSpec",
+    "MachineSpec",
+    "NodeSpec",
+    "NoiseConfig",
+    "NoiseModel",
+    "THETA_NODE",
+    "theta",
+    "xeon_cluster",
+]

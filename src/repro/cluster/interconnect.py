@@ -1,0 +1,82 @@
+"""Interconnect model (Cray Aries dragonfly, as on Theta).
+
+Provides two things:
+
+* a :class:`~repro.mpi.costs.CommCostModel` implementation used by the
+  simulated MPI runtime, with parameters in the ballpark of Aries
+  (sub-2 µs latency, ~10 GB/s per-node injection bandwidth, optimized
+  collectives — §VII-E notes Theta's interconnect is optimized for
+  collective MPI routines);
+* helpers for the in-situ workflow's bulk simulation→analysis exchange,
+  whose time scales with per-node data volume and picks up a mild
+  contention factor with node count.
+
+The paper's scale observations only require that the communication
+*fraction* of a fixed-problem step grows with node count; a
+latency/bandwidth model with log-radix collectives delivers that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Interconnect", "InterconnectSpec"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Wire-level parameters of the network."""
+
+    latency_s: float = 1.2e-6
+    bandwidth_Bps: float = 10e9
+    #: software/progress cost charged per participating rank in a
+    #: collective (captures the growing cost of larger communicators)
+    per_rank_software_s: float = 40e-9
+    #: multiplicative congestion growth per doubling of node count for
+    #: bulk pairwise exchanges
+    congestion_per_doubling: float = 0.06
+
+    def validate(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_Bps <= 0:
+            raise ValueError("invalid latency/bandwidth")
+        if self.per_rank_software_s < 0 or self.congestion_per_doubling < 0:
+            raise ValueError("invalid software/congestion terms")
+
+
+class Interconnect:
+    """Communication timing for point-to-point, collectives and bulk
+    partition exchanges. Implements the ``CommCostModel`` protocol."""
+
+    def __init__(self, spec: InterconnectSpec | None = None) -> None:
+        self.spec = spec if spec is not None else InterconnectSpec()
+        self.spec.validate()
+
+    # -- CommCostModel protocol -----------------------------------------
+    def p2p_time(self, nbytes: int) -> float:
+        s = self.spec
+        return s.latency_s + nbytes / s.bandwidth_Bps
+
+    def collective_time(self, op: str, nranks: int, nbytes: int) -> float:
+        if nranks <= 1:
+            return 0.0
+        s = self.spec
+        rounds = math.ceil(math.log2(nranks))
+        payload = 0 if op == "barrier" else nbytes
+        return rounds * self.p2p_time(payload) + nranks * s.per_rank_software_s
+
+    # -- bulk exchange ---------------------------------------------------
+    def congestion_factor(self, n_nodes: int) -> float:
+        """Contention multiplier for simultaneous pairwise traffic."""
+        if n_nodes <= 1:
+            return 1.0
+        return 1.0 + self.spec.congestion_per_doubling * math.log2(n_nodes)
+
+    def exchange_time(self, nbytes_per_node: int, n_nodes: int) -> float:
+        """Bulk pairwise exchange: every sim node ships its particle data
+        to its paired analysis node concurrently (Splitanalysis step 2).
+        """
+        if nbytes_per_node < 0:
+            raise ValueError("negative payload")
+        base = self.p2p_time(nbytes_per_node)
+        return base * self.congestion_factor(n_nodes)

@@ -1,0 +1,193 @@
+"""SeeSAw: energy-feedback power allocation (paper §IV).
+
+The algorithm, per synchronization ``i`` and allocation round ``j``
+(one round per ``w`` synchronizations):
+
+1. average the last ``w`` intervals' time and power per partition
+   (window averaging — noise guard #1)::
+
+       P_j^S = mean(p_i^S),   T_j^S = mean(t_i^S)          (paper, §IV-A)
+
+2. approximate the time↔power relationship as linear via
+
+       α_j^S = 1 / (T_j^S · P_j^S)                          (Eq. 1)
+
+3. solve for the optimal split under budget ``C`` with the time-equality
+   optimality condition ``T^S = T^A``::
+
+       P_{j+1}^{OPT_S} = C · α_j^A / (α_j^S + α_j^A)        (Eq. 2)
+
+4. damp the step with an EWMA whose weight is the optimal share::
+
+       r_{j+1}^S = P_{j+1}^{OPT_S} / C                      (Eq. 3)
+       P_{j+1}^{new_S} = r·P^{OPT_S} + (1−r)·P_prev^S       (Eq. 4)
+
+   **Erratum note** — Eq. 4 as printed in the paper multiplies
+   ``P^{OPT}`` by both ``r`` and ``(1-r)``, which degenerates to
+   ``P^{OPT}`` itself. The surrounding text ("past information is
+   consolidated with the present using an exponentially weighted moving
+   average", "reduce the rate at which we change power") requires the
+   ``(1−r)`` term to weight the *previous* allocation, which is what we
+   implement. The printed form is the fixed point of ours (when
+   ``P_prev == P^{OPT}`` they coincide) — ``tests/core/test_seesaw_math``
+   checks both properties.
+
+5. clamp per the δ rule and divide evenly per node (power is controlled
+   per voltage plane — per node on Theta).
+
+Derivation check for Eq. 2: the linear model says time scales as
+``T' = 1/(α·P')``; imposing ``T'^S = T'^A`` with ``P'^S + P'^A = C``
+gives ``α^S·P'^S = α^A·P'^A`` and hence Eq. 2. The worked example of
+Figure 2 (90 W/100 s vs 120 W/60 s under 210 W → both finish at ~77 s
+after moving ~3 W) falls out of these equations and is pinned by a unit
+test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import NodeSpec
+from repro.core.controller import PowerController, clamp_partition_totals
+from repro.core.types import Allocation, Observation
+from repro.util.stats import RunningMean
+
+__all__ = ["SeeSAwController", "optimal_split"]
+
+
+def optimal_split(
+    t_sim: float, p_sim: float, t_ana: float, p_ana: float, budget_w: float
+) -> tuple[float, float]:
+    """Eqs. 1–2: the optimal partition power totals for the next round.
+
+    All arguments are partition-level (total watts, slowest-rank
+    seconds). Returns ``(P_opt_sim, P_opt_ana)`` with
+    ``P_opt_sim + P_opt_ana == budget_w``.
+    """
+    if min(t_sim, p_sim, t_ana, p_ana) <= 0:
+        raise ValueError("times and powers must be positive")
+    alpha_s = 1.0 / (t_sim * p_sim)
+    alpha_a = 1.0 / (t_ana * p_ana)
+    p_opt_s = budget_w * alpha_a / (alpha_s + alpha_a)
+    return p_opt_s, budget_w - p_opt_s
+
+
+class SeeSAwController(PowerController):
+    """The paper's contribution: time+power (energy) feedback."""
+
+    name = "seesaw"
+
+    def __init__(
+        self,
+        budget_w: float,
+        n_sim: int,
+        n_ana: int,
+        node: NodeSpec,
+        window: int = 1,
+        sim_share: float = 0.5,
+        feedback: str = "energy",
+        damping: str = "ewma",
+    ) -> None:
+        """``window`` is the paper's ``w``: reallocate every ``w``
+        synchronizations, averaging measurements over the window.
+        ``sim_share`` sets the initial split (0.5 = even; Fig. 7 uses
+        unbalanced starts).
+
+        ``feedback`` and ``damping`` exist for ablation studies:
+
+        * ``feedback="time"`` replaces Eq. 1's energy linearization
+          with a time-only one (``alpha = 1/T``), isolating the paper's
+          claim that *energy* is the right metric;
+        * ``damping="none"`` jumps straight to Eq. 2's optimum without
+          the Eq. 3-4 EWMA, isolating the noise-guarding role of the
+          damping.
+        """
+        super().__init__(budget_w, n_sim, n_ana, node)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if feedback not in ("energy", "time"):
+            raise ValueError("feedback must be 'energy' or 'time'")
+        if damping not in ("ewma", "none"):
+            raise ValueError("damping must be 'ewma' or 'none'")
+        self.window = window
+        self.sim_share = sim_share
+        self.feedback = feedback
+        self.damping = damping
+        self._t_sim = RunningMean()
+        self._p_sim = RunningMean()
+        self._t_ana = RunningMean()
+        self._p_ana = RunningMean()
+        self._prev_total_sim: float | None = None
+        self._prev_total_ana: float | None = None
+        #: history of (step, P_opt_sim, P_new_sim) for diagnostics
+        self.decision_log: list[tuple[int, float, float]] = []
+
+    # ------------------------------------------------------------------
+    def initial_allocation(self) -> Allocation:
+        if self.sim_share == 0.5:
+            alloc = self.even_split()
+        else:
+            per_sim = 2.0 * self.sim_share
+            per_ana = 2.0 * (1.0 - self.sim_share)
+            unit = self.budget_w / (
+                per_sim * self.n_sim + per_ana * self.n_ana
+            )
+            alloc = self._even_allocation(
+                per_sim * unit * self.n_sim, per_ana * unit * self.n_ana
+            )
+        self._prev_total_sim = float(alloc.sim_caps_w.sum())
+        self._prev_total_ana = float(alloc.ana_caps_w.sum())
+        return alloc
+
+    def observe(self, obs: Observation) -> Allocation | None:
+        # Accumulate this synchronization into the window.
+        self._t_sim.add(obs.sim.work_time_s)
+        self._p_sim.add(obs.sim.total_power_w)
+        self._t_ana.add(obs.ana.work_time_s)
+        self._p_ana.add(obs.ana.total_power_w)
+        if self._t_sim.count < self.window:
+            return None
+
+        t_s, p_s = self._t_sim.mean, self._p_sim.mean
+        t_a, p_a = self._t_ana.mean, self._p_ana.mean
+        for m in (self._t_sim, self._p_sim, self._t_ana, self._p_ana):
+            m.reset()
+
+        if min(t_s, p_s, t_a, p_a) <= 0:
+            return None  # degenerate measurement; hold
+
+        # Eqs. 1–2 (the "time" ablation drops power from Eq. 1).
+        if self.feedback == "energy":
+            p_opt_s, p_opt_a = optimal_split(
+                t_s, p_s, t_a, p_a, self.budget_w
+            )
+        else:
+            p_opt_s, p_opt_a = optimal_split(
+                t_s, 1.0, t_a, 1.0, self.budget_w
+            )
+
+        assert self._prev_total_sim is not None
+        if self.damping == "ewma":
+            # Eqs. 3–4 (EWMA against the previous *allocation*).
+            r_s = p_opt_s / self.budget_w
+            r_a = p_opt_a / self.budget_w
+            new_s = r_s * p_opt_s + (1.0 - r_s) * self._prev_total_sim
+            new_a = r_a * p_opt_a + (1.0 - r_a) * self._prev_total_ana
+            # Budget conservation: the two EWMA steps are independent,
+            # so renormalize onto the budget before clamping.
+            scale = self.budget_w / (new_s + new_a)
+            new_s *= scale
+            new_a *= scale
+        else:
+            new_s, new_a = p_opt_s, p_opt_a
+
+        total_s, total_a = clamp_partition_totals(
+            new_s, new_a, self.n_sim, self.n_ana, self.node
+        )
+        self._prev_total_sim = total_s
+        self._prev_total_ana = total_a
+        self.decision_log.append((obs.step, p_opt_s, total_s))
+        return Allocation(
+            sim_caps_w=np.full(self.n_sim, total_s / self.n_sim),
+            ana_caps_w=np.full(self.n_ana, total_a / self.n_ana),
+        )

@@ -1,0 +1,93 @@
+"""Shared datatypes of the power-controller interface.
+
+A controller sees one :class:`Observation` per synchronization and
+returns (possibly) a new :class:`Allocation`. The measurement content
+follows paper §VI-B: per-partition time is the slowest rank's time to
+reach the synchronization (including the cost of the allocation
+itself), power is summed over the partition's nodes; per-node arrays
+are additionally provided because the power-aware (SLURM) and
+time-aware (GEOPM) comparators act on individual nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Allocation", "Observation", "PartitionMeasurement"]
+
+
+@dataclass(frozen=True)
+class PartitionMeasurement:
+    """What PoLiMER measured for one partition over one sync interval."""
+
+    #: time of the slowest rank to reach the synchronization (seconds);
+    #: excludes the wait for the other partition — this is the
+    #: application-knowledge signal SeeSAw is built on
+    work_time_s: float
+    #: total energy of the partition's nodes over the interval (J),
+    #: including synchronization waiting
+    energy_j: float
+    #: full interval duration (release to release, seconds)
+    interval_s: float
+    #: per-node iteration times as a system-level tool would see them
+    #: (sync-inclusive epoch time with measurement/attribution jitter)
+    node_epoch_times_s: np.ndarray
+    #: per-node mean power over the interval (W), sensor noise included
+    node_power_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.work_time_s < 0 or self.interval_s <= 0:
+            raise ValueError("invalid measurement times")
+        if len(self.node_epoch_times_s) != len(self.node_power_w):
+            raise ValueError("per-node arrays must align")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_power_w)
+
+    @property
+    def mean_power_w(self) -> float:
+        """Partition mean power over the interval (sum/nodes)."""
+        return float(np.mean(self.node_power_w))
+
+    @property
+    def total_power_w(self) -> float:
+        """Summed node power — the paper's partition power metric."""
+        return float(np.sum(self.node_power_w))
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One synchronization's worth of feedback."""
+
+    #: synchronization index (0-based; step 0 is outside the main loop
+    #: and ignored by the runner, matching §VII-B1)
+    step: int
+    sim: PartitionMeasurement
+    ana: PartitionMeasurement
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Per-node power caps for both partitions (watts)."""
+
+    sim_caps_w: np.ndarray
+    ana_caps_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        if np.any(self.sim_caps_w <= 0) or np.any(self.ana_caps_w <= 0):
+            raise ValueError("caps must be positive")
+
+    @property
+    def total_w(self) -> float:
+        return float(self.sim_caps_w.sum() + self.ana_caps_w.sum())
+
+    def with_sim_total(self, total_sim_w: float, total_ana_w: float) -> "Allocation":
+        """Evenly divided allocation with the given partition totals."""
+        n_s, n_a = len(self.sim_caps_w), len(self.ana_caps_w)
+        return Allocation(
+            sim_caps_w=np.full(n_s, total_sim_w / n_s),
+            ana_caps_w=np.full(n_a, total_ana_w / n_a),
+        )

@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate.
+
+The engine owns virtual time; processes are Python generators that
+yield awaitables (delays, events, other processes). See
+:mod:`repro.des.engine` for the event loop and
+:mod:`repro.des.process` for the process model.
+"""
+
+from repro.des.engine import Engine, EventHandle, SimulationError
+from repro.des.process import Delay, Process, SimEvent
+
+__all__ = [
+    "Delay",
+    "Engine",
+    "EventHandle",
+    "Process",
+    "SimEvent",
+    "SimulationError",
+]

@@ -1,0 +1,119 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    seesaw-experiments list
+    seesaw-experiments run fig4
+    seesaw-experiments run all
+    seesaw-experiments run fig3a --quick
+    seesaw-experiments run all --output artifacts/
+
+``--quick`` trades statistical fidelity for speed (fewer Verlet steps,
+single run instead of median-of-3) — useful for smoke-testing.
+``--output DIR`` additionally writes each experiment's rendered table
+(``<name>.txt``) and a best-effort JSON dump of its raw result
+(``<name>.json``) into ``DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import inspect
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+#: parameter overrides applied by --quick where the harness accepts them
+QUICK_OVERRIDES = {"n_runs": 1, "n_verlet_steps": 100}
+
+
+def _jsonable(obj):
+    """Best-effort conversion of a result object to JSON-safe data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def _run_one(name: str, quick: bool, output: Path | None) -> str:
+    fn = EXPERIMENTS[name]
+    kwargs = {}
+    if quick:
+        params = inspect.signature(fn).parameters
+        kwargs = {k: v for k, v in QUICK_OVERRIDES.items() if k in params}
+    t0 = time.perf_counter()
+    result = fn(**kwargs)
+    elapsed = time.perf_counter() - t0
+    rendered = result.render()
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"{name}.txt").write_text(rendered + "\n")
+        (output / f"{name}.json").write_text(
+            json.dumps(_jsonable(result), indent=2) + "\n"
+        )
+    return f"{rendered}\n\n[{name} regenerated in {elapsed:.1f} s]"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="seesaw-experiments",
+        description="Regenerate the SeeSAw paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id or 'all'")
+    run_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer steps / single run for a fast smoke pass",
+    )
+    run_p.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write <name>.txt and <name>.json artifacts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(_run_one(name, args.quick, args.output))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Figure 6: sensitivity to SeeSAw's window w and LAMMPS' sync rate j.
+
+Paper setup: 1024 nodes, dim=48, mix of analyses, 400 Verlet steps.
+Expected shape (§VII-C1): allocating power frequently beats infrequent
+reallocation (large w misses slack-optimization opportunities); at
+j=1 a small window 1 < w < 10 mitigates over-reaction to anomalies;
+when synchronizations are rare (large j) allocating at every
+opportunity (w=1) is best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import format_table, heading
+from repro.experiments.runner import median_improvement
+from repro.workloads import JobConfig
+
+__all__ = ["Fig6Result", "run_fig6"]
+
+
+@dataclass
+class Fig6Result:
+    #: {(j, w): median % improvement over static}
+    grid: dict = field(default_factory=dict)
+    j_values: tuple = ()
+    w_values: tuple = ()
+
+    def improvement(self, j: int, w: int) -> float:
+        return self.grid[(j, w)]
+
+    def render(self) -> str:
+        rows = []
+        for j in self.j_values:
+            row = [f"j={j}"]
+            for w in self.w_values:
+                row.append(self.grid.get((j, w), "-"))
+            rows.append(row)
+        return "\n".join(
+            [
+                heading(
+                    "Figure 6: SeeSAw w x LAMMPS sync rate j, 1024 nodes, "
+                    "dim=48, mix of analyses (% improvement over static)"
+                ),
+                format_table(
+                    ["", *[f"w={w}" for w in self.w_values]],
+                    rows,
+                    float_fmt="{:+.2f}",
+                ),
+            ]
+        )
+
+
+def run_fig6(
+    j_values: tuple[int, ...] = (1, 10, 40),
+    w_values: tuple[int, ...] = (1, 2, 5, 10, 20),
+    n_runs: int = 3,
+    n_verlet_steps: int = 400,
+    seed: int = 60,
+) -> Fig6Result:
+    """Regenerate the w x j sensitivity grid."""
+    result = Fig6Result(grid={}, j_values=j_values, w_values=w_values)
+    for j in j_values:
+        n_syncs = n_verlet_steps // j
+        for w in w_values:
+            if w > max(n_syncs // 2, 1):
+                continue  # window longer than the run: no allocations
+            cfg = JobConfig(
+                analyses=("all",),
+                dim=48,
+                n_nodes=1024,
+                j=j,
+                n_verlet_steps=n_verlet_steps,
+                seed=seed,
+            )
+            result.grid[(j, w)] = median_improvement(
+                "seesaw", cfg, n_runs=n_runs, window=w
+            )
+    return result

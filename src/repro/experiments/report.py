@@ -1,0 +1,43 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment harness returns a dataclass with a ``render()`` that
+produces an aligned ASCII table; this module holds the shared helpers
+so all tables look alike in the terminal and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "heading"]
+
+
+def heading(title: str) -> str:
+    bar = "=" * len(title)
+    return f"{title}\n{bar}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned table; floats go through ``float_fmt``."""
+    str_rows: list[list[str]] = []
+    for row in rows:
+        str_rows.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Shared experiment machinery: controller factories, paired runs,
+medians.
+
+The paper's measurement protocol (§VII-A): each data point is the
+median of 3 runs, and every managed run is paired with a static
+baseline inside the same job — identical rank placement — so that
+job-to-job allocation variability cancels. We reproduce that pairing by
+seeding the managed run and its baseline with the same job seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import THETA_NODE, NodeSpec
+from repro.core import (
+    PowerAwareController,
+    PowerController,
+    SeeSAwController,
+    StaticController,
+    TimeAwareController,
+)
+from repro.util.stats import median, percent_improvement
+from repro.workloads import JobConfig, JobResult, run_job
+
+__all__ = [
+    "APPROACHES",
+    "build_controller",
+    "median_improvement",
+    "paired_improvement",
+    "run_managed",
+]
+
+#: the paper's three managed approaches plus the baseline
+APPROACHES = ("static", "power-aware", "time-aware", "seesaw")
+
+
+def build_controller(
+    name: str,
+    cfg: JobConfig,
+    node: NodeSpec = THETA_NODE,
+    window: int = 1,
+    sim_share: float = 0.5,
+    **kwargs,
+) -> PowerController:
+    """Construct a controller sized for ``cfg``.
+
+    ``window`` is honoured by SeeSAw and the power-aware scheme; the
+    time-aware balancer ignores it by design (§VI-B) and the static
+    baseline has no feedback at all.
+    """
+    args = (cfg.budget_w, cfg.n_sim, cfg.n_ana, node)
+    if name == "static":
+        return StaticController(*args, sim_share=sim_share, **kwargs)
+    if name == "seesaw":
+        return SeeSAwController(
+            *args, window=window, sim_share=sim_share, **kwargs
+        )
+    if name == "power-aware":
+        return PowerAwareController(*args, window=window, **kwargs)
+    if name == "time-aware":
+        return TimeAwareController(*args, **kwargs)
+    raise ValueError(f"unknown approach {name!r}; choose from {APPROACHES}")
+
+
+def run_managed(
+    name: str,
+    cfg: JobConfig,
+    run_index: int = 0,
+    **controller_kwargs,
+) -> JobResult:
+    """One managed run of ``cfg`` under approach ``name``."""
+    controller = build_controller(name, cfg, **controller_kwargs)
+    return run_job(cfg, controller, run_index=run_index)
+
+
+def paired_improvement(
+    name: str,
+    cfg: JobConfig,
+    run_index: int = 0,
+    baseline_sim_share: float = 0.5,
+    **controller_kwargs,
+) -> float:
+    """% runtime improvement of one managed run over its paired static
+    baseline (same job seed and run index → same allocation and noise,
+    the paper's §VII-A pairing)."""
+    managed = run_managed(
+        name, cfg, run_index=run_index, **controller_kwargs
+    )
+    baseline = run_managed(
+        "static",
+        cfg,
+        run_index=run_index,
+        sim_share=baseline_sim_share,
+    )
+    return percent_improvement(managed.total_time_s, baseline.total_time_s)
+
+
+def median_improvement(
+    name: str,
+    cfg: JobConfig,
+    n_runs: int = 3,
+    baseline_sim_share: float = 0.5,
+    **controller_kwargs,
+) -> float:
+    """Median-of-``n_runs`` improvement (the paper's data points)."""
+    return median(
+        paired_improvement(
+            name,
+            cfg,
+            run_index=i,
+            baseline_sim_share=baseline_sim_share,
+            **controller_kwargs,
+        )
+        for i in range(n_runs)
+    )

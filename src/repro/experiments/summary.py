@@ -1,0 +1,172 @@
+"""Reproduction summary: every headline claim, checked automatically.
+
+Runs a compact version of the whole evaluation and renders a
+paper-vs-measured verdict table (the machine-checked core of
+EXPERIMENTS.md). Each :class:`Claim` carries the paper's statement, a
+measurement, and a pass predicate on the *shape* — the same checks the
+benchmark suite enforces, gathered in one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.report import format_table, heading
+from repro.experiments.runner import median_improvement, run_managed
+from repro.workloads import JobConfig
+
+__all__ = ["Claim", "SummaryResult", "run_summary"]
+
+
+@dataclass
+class Claim:
+    claim: str
+    paper: str
+    measured: float
+    ok: bool
+
+    def row(self) -> tuple:
+        verdict = "PASS" if self.ok else "MISS"
+        return (self.claim, self.paper, f"{self.measured:+.2f} %", verdict)
+
+
+@dataclass
+class SummaryResult:
+    claims: list = field(default_factory=list)
+
+    @property
+    def all_pass(self) -> bool:
+        return all(c.ok for c in self.claims)
+
+    def render(self) -> str:
+        rows = [c.row() for c in self.claims]
+        passed = sum(c.ok for c in self.claims)
+        return "\n".join(
+            [
+                heading("Reproduction summary: headline claims"),
+                format_table(
+                    ["claim", "paper", "measured", "verdict"], rows
+                ),
+                "",
+                f"{passed}/{len(self.claims)} claims reproduce "
+                "(shape, not absolute numbers)",
+            ]
+        )
+
+
+def run_summary(
+    n_runs: int = 3, n_verlet_steps: int = 200, seed: int = 1000
+) -> SummaryResult:
+    """Run the headline comparisons and check every claim's shape."""
+    result = SummaryResult()
+
+    def check(
+        claim: str,
+        paper: str,
+        measured: float,
+        predicate: Callable[[float], bool],
+    ) -> None:
+        result.claims.append(
+            Claim(claim, paper, measured, bool(predicate(measured)))
+        )
+
+    def cfg(analyses, dim, nodes=128, **kw):
+        return JobConfig(
+            analyses=analyses,
+            dim=dim,
+            n_nodes=nodes,
+            n_verlet_steps=n_verlet_steps,
+            seed=seed,
+            **kw,
+        )
+
+    def imp(name, c, **kw):
+        return median_improvement(name, c, n_runs=n_runs, **kw)
+
+    msd = cfg(("full_msd",), 16)
+    vacf = cfg(("vacf",), 36)
+    all36 = cfg(("all",), 36)
+    all1024 = cfg(("all",), 48, nodes=1024)
+
+    check(
+        "SeeSAw positive on full MSD (128)",
+        "+4..30 %",
+        imp("seesaw", msd),
+        lambda v: v > 0,
+    )
+    check(
+        "SeeSAw positive on VACF (128)",
+        "+4..30 %",
+        imp("seesaw", vacf),
+        lambda v: v > 0,
+    )
+    check(
+        "SeeSAw positive at 1024 nodes",
+        "+4..30 %",
+        imp("seesaw", all1024),
+        lambda v: v > -0.5,
+    )
+    check(
+        "time-aware competitive on VACF (128)",
+        "up to +13 %",
+        imp("time-aware", vacf),
+        lambda v: v > 3,
+    )
+    check(
+        "time-aware loses on full MSD (128)",
+        "negative (Fig. 4b lock)",
+        imp("time-aware", msd),
+        lambda v: v < 0,
+    )
+    check(
+        "time-aware degrades at 1024 nodes",
+        "down to -60 %",
+        imp("time-aware", all1024),
+        lambda v: v < -3,
+    )
+    check(
+        "power-aware loses on full MSD",
+        "negative, all cases",
+        imp("power-aware", msd),
+        lambda v: v < 0,
+    )
+    check(
+        "power-aware loses on VACF",
+        "negative, all cases",
+        imp("power-aware", vacf),
+        lambda v: v < 0,
+    )
+    check(
+        "power-aware loses on the mix",
+        "negative, all cases",
+        imp("power-aware", all36),
+        lambda v: v < 0,
+    )
+
+    # Fig. 8 bookends: nothing to gain at the floor or with headroom
+    floor = cfg(("all_msd",), 16, budget_per_node_w=98.0)
+    loose = cfg(("all_msd",), 16, budget_per_node_w=180.0)
+    check(
+        "no gain at the 98 W floor",
+        "0 % (Fig. 8)",
+        imp("seesaw", floor),
+        lambda v: abs(v) < 1.0,
+    )
+    check(
+        "no gain with 180 W headroom",
+        "~0 % (Fig. 8)",
+        imp("seesaw", loose),
+        lambda v: abs(v) < 2.0,
+    )
+
+    # Fig. 4a allocation direction: analysis gets more power on MSD
+    res = run_managed("seesaw", msd)
+    last = res.records[-1]
+    check(
+        "SeeSAw gives analysis more power on MSD",
+        "Fig. 4a",
+        last.ana_cap_mean_w - last.sim_cap_mean_w,
+        lambda v: v > 0,
+    )
+    return result

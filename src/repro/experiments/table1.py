@@ -1,0 +1,110 @@
+"""Table I: run-to-run and job-to-job variability of LAMMPS runs.
+
+Paper setup: 7 LAMMPS runs on 128 nodes, problem sizes dim ∈ {36, 48},
+under three cap regimes — no cap, long-term 110 W, long+short 110 W —
+reporting the spread of total runtimes. The paper's reading:
+variability is exacerbated by power caps, and capping both RAPL windows
+(which under-enforces the requested power) is the noisiest.
+
+Run-to-run repeats the same job (same allocation: same job-wide and
+per-node speed factors) with fresh transient noise; job-to-job redraws
+everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import StaticController
+from repro.cluster.node import THETA_NODE
+from repro.experiments.report import format_table, heading
+from repro.power.rapl import CapMode
+from repro.util.stats import variability_pct
+from repro.workloads import JobConfig, run_job
+
+__all__ = ["Table1Result", "run_table1"]
+
+CAP_LABEL = {
+    CapMode.NONE: "None",
+    CapMode.LONG: "Long (110 W)",
+    CapMode.LONG_SHORT: "Long and Short (110 W each)",
+}
+
+
+@dataclass
+class Table1Result:
+    #: rows of (cap label, dim, variability type, variability %)
+    rows: list = field(default_factory=list)
+
+    def variability(self, cap: CapMode, dim: int, kind: str) -> float:
+        for cap_label, d, k, v in self.rows:
+            if cap_label == CAP_LABEL[cap] and d == dim and k == kind:
+                return v
+        raise KeyError((cap, dim, kind))
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                heading(
+                    "Table I: variability across 7 runs, LAMMPS on 128 nodes"
+                ),
+                format_table(
+                    ["Power Cap", "dim", "Variability Type", "Variability %"],
+                    self.rows,
+                ),
+            ]
+        )
+
+
+def _runtime(cfg: JobConfig, run_index: int) -> float:
+    controller = StaticController(
+        cfg.budget_w, cfg.n_sim, cfg.n_ana, THETA_NODE
+    )
+    return run_job(cfg, controller, run_index=run_index).total_time_s
+
+
+def run_table1(
+    n_runs: int = 7,
+    dims: tuple[int, ...] = (36, 48),
+    n_verlet_steps: int = 400,
+    base_seed: int = 100,
+) -> Table1Result:
+    """Regenerate Table I."""
+    result = Table1Result()
+    for mode in (CapMode.NONE, CapMode.LONG, CapMode.LONG_SHORT):
+        for dim in dims:
+            def cfg_for(seed: int) -> JobConfig:
+                return JobConfig(
+                    analyses=("all",),
+                    dim=dim,
+                    n_nodes=128,
+                    seed=seed,
+                    cap_mode=mode,
+                    n_verlet_steps=n_verlet_steps,
+                )
+
+            run_to_run = [
+                _runtime(cfg_for(base_seed), run_index=i)
+                for i in range(n_runs)
+            ]
+            job_to_job = [
+                _runtime(cfg_for(base_seed + 1 + i), run_index=0)
+                for i in range(n_runs)
+            ]
+            result.rows.append(
+                (
+                    CAP_LABEL[mode],
+                    dim,
+                    "run-to-run",
+                    variability_pct(run_to_run),
+                )
+            )
+            result.rows.append(
+                (
+                    CAP_LABEL[mode],
+                    dim,
+                    "job-to-job",
+                    variability_pct(job_to_job),
+                )
+            )
+    return result

@@ -1,0 +1,62 @@
+"""Virtual-time cost constants for the per-rank in-situ path.
+
+The per-rank coupler executes the *real* MD engine and analyses, then
+charges virtual compute time proportional to the measured operation
+counts (pair interactions, analysis work estimates). The constants
+below set the exchange rate; they are scaled so a dim=1 in-situ job's
+virtual phase mix resembles the proxy's anchor mix (force-dominated
+simulation steps, analyses fractions of a step).
+
+These constants only shape the *small demonstration runs* — the
+paper-scale figures use :mod:`repro.workloads.profiles`, which is
+calibrated against the paper directly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import PHASES
+
+__all__ = [
+    "ANALYSIS_KIND",
+    "SECONDS_PER_ANALYSIS_OP",
+    "SECONDS_PER_ATOM_INTEGRATE",
+    "SECONDS_PER_ATOM_NEIGHBOR",
+    "SECONDS_PER_ATOM_THERMO",
+    "SECONDS_PER_PAIR",
+    "SECONDS_PER_EXCHANGE_ATOM",
+]
+
+#: force kernel: seconds of base-frequency work per neighbor pair
+SECONDS_PER_PAIR = 2.0e-5
+
+#: initial+final integration per local atom
+SECONDS_PER_ATOM_INTEGRATE = 1.0e-4
+
+#: neighbor-list rebuild per local atom (only on rebuild steps)
+SECONDS_PER_ATOM_NEIGHBOR = 2.5e-4
+
+#: thermo output per local atom (communication/IO kind)
+SECONDS_PER_ATOM_THERMO = 1.5e-4
+
+#: data-structure rebuild on exchange, per exchanged atom (step 3)
+SECONDS_PER_EXCHANGE_ATOM = 5.0e-5
+
+#: virtual seconds per analysis work-estimate unit, per analysis
+SECONDS_PER_ANALYSIS_OP = {
+    "rdf": 3.0e-5,
+    "vacf": 2.0e-4,
+    "msd": 2.0e-4,
+    "msd1d": 2.0e-4,
+    "msd2d": 2.5e-4,
+    "full_msd": 2.5e-4,
+}
+
+#: which power-model phase kind each analysis's kernel maps onto
+ANALYSIS_KIND = {
+    "rdf": PHASES["rdf_cpu"],
+    "vacf": PHASES["ana_light"],
+    "msd": PHASES["ana_cpu"],
+    "msd1d": PHASES["ana_light"],
+    "msd2d": PHASES["ana_mem"],
+    "full_msd": PHASES["ana_cpu"],
+}

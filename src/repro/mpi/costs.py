@@ -1,0 +1,71 @@
+"""Communication cost models for the simulated MPI runtime.
+
+The runtime itself only enforces *semantics* (matching, blocking,
+synchronization). How long an operation takes on the wire is delegated
+to a :class:`CommCostModel`, so unit tests can run with zero cost while
+the Theta-like machine model supplies realistic latencies (see
+:mod:`repro.cluster.interconnect` for the production model).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+__all__ = ["CommCostModel", "LogPCost", "ZeroCost"]
+
+
+class CommCostModel(Protocol):
+    """Times for point-to-point and collective operations."""
+
+    def p2p_time(self, nbytes: int) -> float:
+        """Wire time for one point-to-point message of ``nbytes``."""
+        ...
+
+    def collective_time(self, op: str, nranks: int, nbytes: int) -> float:
+        """Time from last arrival to release for a collective."""
+        ...
+
+
+class ZeroCost:
+    """Free communication — semantics only. Used by most unit tests."""
+
+    def p2p_time(self, nbytes: int) -> float:
+        return 0.0
+
+    def collective_time(self, op: str, nranks: int, nbytes: int) -> float:
+        return 0.0
+
+
+class LogPCost:
+    """Simple latency/bandwidth model with log-radix collectives.
+
+    ``p2p_time = alpha + nbytes / beta``; collectives pay
+    ``ceil(log2(n))`` rounds of that plus a per-rank software term.
+    This is the classic alpha-beta (Hockney) model that captures the
+    paper-relevant property: collective time grows with node count, so
+    the communication *fraction* of a fixed-size step grows with scale.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 2e-6,
+        beta: float = 8e9,
+        per_rank_software: float = 5e-9,
+    ) -> None:
+        if alpha < 0 or beta <= 0 or per_rank_software < 0:
+            raise ValueError("invalid cost parameters")
+        self.alpha = alpha
+        self.beta = beta
+        self.per_rank_software = per_rank_software
+
+    def p2p_time(self, nbytes: int) -> float:
+        return self.alpha + nbytes / self.beta
+
+    def collective_time(self, op: str, nranks: int, nbytes: int) -> float:
+        if nranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        # Reductions touch the payload each round; barriers are empty.
+        payload = 0 if op == "barrier" else nbytes
+        return rounds * self.p2p_time(payload) + nranks * self.per_rank_software

@@ -1,0 +1,18 @@
+"""PoLiMER: application-level power monitoring and capping (ref [41]).
+
+The layer between the controllers (:mod:`repro.core`) and the machine
+(:mod:`repro.power`, :mod:`repro.mpi`): per-node runtimes, the
+distributed measure→decide→actuate collective, and the two-call
+instrumentation API of the paper.
+"""
+
+from repro.polimer.api import poli_init_power_manager, poli_power_alloc
+from repro.polimer.manager import PowerManager
+from repro.polimer.noderuntime import NodeRuntime
+
+__all__ = [
+    "NodeRuntime",
+    "PowerManager",
+    "poli_init_power_manager",
+    "poli_power_alloc",
+]

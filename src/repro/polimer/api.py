@@ -1,0 +1,70 @@
+"""C-flavoured convenience API mirroring the paper's instrumentation.
+
+The paper shows LAMMPS instrumented with exactly two calls (§VI-C)::
+
+    poli_init_power_manager(universe->uworld, universe->me,
+                            master, power_cap);
+    ...
+    poli_power_alloc();
+    // synchronization
+
+This module provides the same two-call surface for simulated ranks. A
+rank generator writes::
+
+    pm = poli_init_power_manager(engine, world, rank, master, cap, node,
+                                 controller=ctl_if_rank0)
+    yield from pm.initialize()
+    ...
+    yield from poli_power_alloc(pm)
+    # synchronization
+
+which is deliberately the same two-line burden the paper claims.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import NodeSpec
+from repro.core.controller import PowerController
+from repro.des.engine import Engine
+from repro.mpi.comm import Communicator
+from repro.polimer.manager import PowerManager
+from repro.polimer.noderuntime import NodeRuntime
+from repro.power.rapl import CapMode
+
+__all__ = ["poli_init_power_manager", "poli_power_alloc"]
+
+
+def poli_init_power_manager(
+    engine: Engine,
+    world: Communicator,
+    rank: int,
+    master: int,
+    power_cap_w: float,
+    node: NodeSpec,
+    controller: PowerController | None = None,
+    cap_mode: CapMode = CapMode.LONG,
+    **manager_kwargs,
+) -> PowerManager:
+    """Create the rank's power manager (call ``initialize`` next).
+
+    Argument order mirrors the paper's C signature: communicator, rank,
+    master flag (0 = simulation, 1 = analysis), initial per-node cap.
+    """
+    if master not in (0, 1):
+        raise ValueError("master must be 0 (simulation) or 1 (analysis)")
+    runtime = NodeRuntime(engine, node, power_cap_w, cap_mode=cap_mode)
+    return PowerManager(
+        engine,
+        world,
+        rank,
+        master,
+        runtime,
+        controller=controller,
+        **manager_kwargs,
+    )
+
+
+def poli_power_alloc(manager: PowerManager):
+    """The pre-synchronization allocation call (a generator to yield
+    from)."""
+    return manager.power_alloc()

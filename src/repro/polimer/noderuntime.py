@@ -1,0 +1,110 @@
+"""Per-rank node runtime: compute execution and energy accounting.
+
+Binds one simulated MPI rank to one node's power domain (the paper's
+deployment: power is controlled per node, one PoLiMER monitor rank per
+node). Provides:
+
+* :meth:`NodeRuntime.compute` — an awaitable that advances virtual time
+  by the duration of ``work`` seconds-at-base-frequency of a given
+  phase kind under the node's current RAPL cap;
+* a RAPL-style monotone **energy counter**: compute energy is
+  integrated exactly by the phase executor; the gaps between compute
+  phases (MPI waits, synchronization) are charged at the spin-wait
+  draw, clipped by the cap, when the counter is read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import NodeSpec
+from repro.des.engine import Engine
+from repro.des.process import Delay
+from repro.power.execution import execute_phase
+from repro.power.model import PhaseKind
+from repro.power.rapl import CapMode, RaplDomainArray
+
+__all__ = ["NodeRuntime"]
+
+
+class NodeRuntime:
+    """One node's execution/power state in the per-rank DES world."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: NodeSpec,
+        initial_cap_w: float,
+        cap_mode: CapMode = CapMode.LONG,
+        actuation_delay_s: float = 0.010,
+    ) -> None:
+        self.engine = engine
+        self.node = node
+        self.domain = RaplDomainArray(
+            node,
+            1,
+            initial_cap_w,
+            mode=cap_mode,
+            actuation_delay_s=actuation_delay_s,
+        )
+        self._compute_energy_j = 0.0
+        self._busy_s = 0.0
+        self._created_at = engine.now
+        self._counter_cache: tuple[float, float] | None = None
+
+    # ------------------------------------------------------------------
+    def compute(self, kind: PhaseKind, work_s: float, noise: float = 1.0):
+        """Awaitable executing ``work_s`` of ``kind`` on this node.
+
+        Usage inside a rank generator::
+
+            yield node.compute(FORCE, 0.8)
+        """
+        runtime = self
+
+        class _ComputeAwaitable:
+            def __sim_await__(self, process):
+                outcome = execute_phase(
+                    kind,
+                    runtime.node,
+                    work_s,
+                    runtime.domain,
+                    t_start=runtime.engine.now,
+                    noise_factors=noise,
+                )
+                duration = outcome.slowest
+                runtime._compute_energy_j += float(outcome.energy_joules[0])
+                runtime._busy_s += duration
+                runtime.engine.schedule(
+                    duration, lambda: process._advance(duration)
+                )
+
+        return _ComputeAwaitable()
+
+    # ------------------------------------------------------------------
+    @property
+    def current_cap_w(self) -> float:
+        caps, _ = self.domain.segment_at(self.engine.now)
+        return float(caps[0])
+
+    def request_cap(self, cap_w: float) -> None:
+        """Request a new cap, effective after the actuation delay."""
+        self.domain.request_caps(cap_w, now=self.engine.now)
+
+    def energy_counter_j(self) -> float:
+        """Monotone cumulative energy, RAPL-counter style.
+
+        Idle/wait gaps up to "now" are charged at ``min(p_wait, cap)``.
+        """
+        now = self.engine.now
+        gap = (now - self._created_at) - self._busy_s
+        gap = max(gap, 0.0)
+        wait_draw = min(self.node.p_wait_watts, self.current_cap_w)
+        return self._compute_energy_j + gap * wait_draw
+
+    def mean_power_w(self, t0: float, e0_j: float) -> float:
+        """Average power since a previous counter reading at ``t0``."""
+        now = self.engine.now
+        if now <= t0:
+            return min(self.node.p_wait_watts, self.current_cap_w)
+        return (self.energy_counter_j() - e0_j) / (now - t0)

@@ -1,0 +1,27 @@
+"""Power substrate: phase power model, RAPL emulation, traces, sysfs façade."""
+
+from repro.power.execution import (
+    DrawSegment,
+    PhaseOutcome,
+    execute_phase,
+    wait_energy,
+)
+from repro.power.model import OperatingPoint, PhaseKind, operating_point
+from repro.power.msr import MsrSafeFs
+from repro.power.rapl import CapMode, RaplDomainArray
+from repro.power.trace import PowerTrace, sample_trace
+
+__all__ = [
+    "CapMode",
+    "DrawSegment",
+    "MsrSafeFs",
+    "OperatingPoint",
+    "PhaseKind",
+    "PhaseOutcome",
+    "PowerTrace",
+    "RaplDomainArray",
+    "execute_phase",
+    "operating_point",
+    "sample_trace",
+    "wait_energy",
+]

@@ -1,0 +1,161 @@
+"""Phase executor: turn (work, phase kind, caps over time) into
+(durations, energies, draw segments).
+
+This is the numerical core shared by the vectorized 1024-node proxy and
+the per-rank DES jobs. Given
+
+* a nominal amount of work (seconds at base frequency, speed 1.0),
+* per-node noise factors (multiplying duration),
+* and the RAPL domain's piecewise-constant cap schedule,
+
+it integrates per-node progress through cap segments and returns exact
+per-node completion times plus the energy drawn. Nodes that finish
+early are *not* idled here — synchronization waiting is owned by the
+caller (the partition), which knows who it is waiting for and charges
+the spin-wait power (:attr:`NodeSpec.p_wait_watts`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import NodeSpec
+from repro.power.model import PhaseKind, operating_point
+from repro.power.rapl import RaplDomainArray
+
+__all__ = ["DrawSegment", "PhaseOutcome", "execute_phase", "wait_energy"]
+
+
+@dataclass(frozen=True)
+class DrawSegment:
+    """Piecewise-constant per-node power draw over [t0, t1).
+
+    ``draw_watts`` has one entry per node; nodes that already finished
+    the phase within this segment contribute their *active* draw only up
+    to their completion time — the executor splits segments so that
+    within one :class:`DrawSegment` every node is in a single state.
+    """
+
+    t0: float
+    t1: float
+    draw_watts: np.ndarray
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class PhaseOutcome:
+    """Result of executing one phase across a partition's nodes."""
+
+    #: per-node phase duration in seconds (from phase start)
+    durations: np.ndarray
+    #: per-node energy in joules consumed while *active* in the phase
+    energy_joules: np.ndarray
+    #: trace segments while at least one node was active
+    segments: list[DrawSegment] = field(default_factory=list)
+
+    @property
+    def slowest(self) -> float:
+        return float(self.durations.max())
+
+    @property
+    def fastest(self) -> float:
+        return float(self.durations.min())
+
+
+def execute_phase(
+    kind: PhaseKind,
+    node: NodeSpec,
+    work_seconds: float,
+    domain: RaplDomainArray,
+    t_start: float,
+    noise_factors: np.ndarray | float = 1.0,
+    collect_segments: bool = False,
+) -> PhaseOutcome:
+    """Execute ``work_seconds`` of ``kind`` on every node of ``domain``.
+
+    ``noise_factors`` multiplies each node's effective work (OS noise,
+    allocation effects — see :mod:`repro.cluster.noise`).
+    """
+    if work_seconds < 0:
+        raise ValueError("negative work")
+    n = domain.n_nodes
+    noise = np.broadcast_to(np.asarray(noise_factors, dtype=float), (n,))
+    remaining = work_seconds * noise.copy()  # per-node work still to do
+    remaining = np.array(remaining, dtype=float)
+    durations = np.zeros(n)
+    energy = np.zeros(n)
+    segments: list[DrawSegment] = []
+
+    t = t_start
+    active = remaining > 0.0
+    guard = 0
+    while np.any(active):
+        guard += 1
+        if guard > 10_000:
+            raise RuntimeError("phase executor failed to converge")
+        caps, t_change = domain.segment_at(t)
+        op = operating_point(kind, node, caps)
+        speed = np.maximum(op.speed, 1e-12)
+        finish_at = np.where(active, t + remaining / speed, t)
+        # The segment ends at the earliest of: next cap change, or the
+        # last active node's completion within this cap regime.
+        seg_end = min(t_change, float(finish_at[active].max()))
+        if seg_end <= t:
+            # Cap change exactly at t (or zero work): apply and retry.
+            if t_change <= t:
+                # Force pending application by advancing an epsilon-free
+                # query; segment_at applies pending when t >= t_act.
+                continue
+            seg_end = t_change
+        span = seg_end - t
+        done_in_seg = active & (finish_at <= seg_end)
+        still_going = active & ~done_in_seg
+
+        # Progress accounting.
+        active_time = np.where(
+            done_in_seg, finish_at - t, np.where(still_going, span, 0.0)
+        )
+        remaining = np.where(
+            still_going, remaining - span * speed, np.where(done_in_seg, 0.0, remaining)
+        )
+        durations = np.where(
+            done_in_seg, finish_at - t_start, durations
+        )
+        energy += active_time * op.draw_watts
+        if collect_segments:
+            segments.append(
+                DrawSegment(
+                    t0=t,
+                    t1=seg_end,
+                    draw_watts=np.where(active, op.draw_watts, 0.0).copy(),
+                )
+            )
+        active = still_going
+        t = seg_end
+
+    # Zero-work phase: all durations stay 0.
+    return PhaseOutcome(durations=durations, energy_joules=energy, segments=segments)
+
+
+def wait_energy(
+    node: NodeSpec,
+    domain: RaplDomainArray,
+    wait_seconds: np.ndarray,
+    t: float,
+) -> np.ndarray:
+    """Energy of spin-waiting for ``wait_seconds`` per node at time ``t``.
+
+    The wait draw is the MPI busy-wait power clipped by the node's
+    enforced cap (a node capped at 98 W cannot burn 105 W waiting).
+    Cap changes during waits are ignored — waits follow a controller
+    decision by less than the actuation delay only in degenerate
+    configurations, and the energy difference is sub-watt-second.
+    """
+    caps, _ = domain.segment_at(t)
+    draw = np.minimum(node.p_wait_watts, caps)
+    return np.asarray(wait_seconds, dtype=float) * draw

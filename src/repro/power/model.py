@@ -1,0 +1,157 @@
+"""Phase-level power/performance model.
+
+Everything the paper measures follows from two per-phase curves:
+
+* **demand** — the power a node draws while running a phase unthrottled
+  at frequency ``f``::
+
+      demand(f) = p_floor + k * (f / f_base) ** gamma
+
+* **speed** — relative execution rate at frequency ``f``::
+
+      speed(f) = (f / f_base) ** beta
+
+``beta ~ 1`` models compute-bound phases (force evaluation, MSD), and
+``beta << 1`` models memory- or communication-bound phases whose speed
+barely responds to frequency. ``gamma`` shapes how steeply demand rises
+with clock; communication phases use a tiny ``gamma`` so their draw is
+nearly flat (~100–105 W regardless of the cap) — this is exactly the
+mechanism behind the paper's two key observations:
+
+1. LAMMPS cannot *utilize* power beyond ~140 W/node however high the
+   cap (Fig. 8), because the demand curves saturate at turbo;
+2. at δ_min the analysis drags a synchronizing simulation into a
+   low-power state where time differences vanish while the allocation
+   is grossly inefficient (Fig. 5b discussion).
+
+Given a cap the model inverts the demand curve:
+
+* cap above ``demand(f_turbo)``   → run at turbo, draw the demand
+  (leaving *headroom* the power-aware scheme misreads as slack);
+* cap within the curve's range    → throttle to the largest feasible
+  frequency, draw exactly the cap (RAPL's moving-average enforcement);
+* cap below ``demand(f_min)``     → duty-cycle: stay at ``f_min`` but
+  scale speed by ``cap / demand(f_min)``; draw the cap.
+
+All functions are vectorized over per-node arrays so the 1024-node
+proxy evaluates the whole partition at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import NodeSpec
+
+__all__ = ["OperatingPoint", "PhaseKind", "operating_point"]
+
+
+@dataclass(frozen=True)
+class PhaseKind:
+    """Power/performance character of one class of work.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label ("force", "neighbor", "analysis.msd", ...).
+    k_watts:
+        Dynamic power above the node floor at base frequency.
+    gamma:
+        Exponent of demand growth with frequency ratio.
+    beta:
+        Exponent of speed growth with frequency ratio (frequency
+        sensitivity; 1.0 = perfectly compute-bound).
+    """
+
+    name: str
+    k_watts: float
+    gamma: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.k_watts < 0:
+            raise ValueError(f"{self.name}: negative dynamic power")
+        if self.gamma < 0 or self.beta < 0:
+            raise ValueError(f"{self.name}: exponents must be non-negative")
+
+    # -- curves ---------------------------------------------------------
+    def demand(self, node: NodeSpec, freq_ghz) -> np.ndarray | float:
+        """Unthrottled draw (W) at frequency ``freq_ghz``."""
+        ratio = np.asarray(freq_ghz, dtype=float) / node.f_base
+        return node.p_floor_watts + self.k_watts * ratio**self.gamma
+
+    def speed(self, node: NodeSpec, freq_ghz) -> np.ndarray | float:
+        """Execution rate relative to base frequency."""
+        ratio = np.asarray(freq_ghz, dtype=float) / node.f_base
+        return ratio**self.beta
+
+    def freq_for_cap(self, node: NodeSpec, cap_watts) -> np.ndarray:
+        """Largest frequency whose demand fits under ``cap_watts``.
+
+        Result is clamped to ``[f_min, f_turbo]``; the duty-cycle case
+        (cap below ``demand(f_min)``) is handled by
+        :func:`operating_point`, not here.
+        """
+        cap = np.asarray(cap_watts, dtype=float)
+        if self.k_watts == 0 or self.gamma == 0:
+            # Demand is flat: frequency is unconstrained by the cap.
+            return np.full_like(cap, node.f_turbo)
+        headroom = np.maximum(cap - node.p_floor_watts, 0.0)
+        ratio = (headroom / self.k_watts) ** (1.0 / self.gamma)
+        freq = ratio * node.f_base
+        return np.clip(freq, node.f_min, node.f_turbo)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Resolved (speed, draw) for a phase under a set of per-node caps.
+
+    Arrays are aligned with the caller's node ordering. ``speed`` is the
+    execution-rate multiplier applied to the phase's nominal duration;
+    ``draw_watts`` is the steady power the node pulls while executing.
+    """
+
+    speed: np.ndarray
+    draw_watts: np.ndarray
+
+
+def operating_point(
+    kind: PhaseKind, node: NodeSpec, cap_watts
+) -> OperatingPoint:
+    """Resolve the operating point of ``kind`` under per-node caps.
+
+    Implements the three-regime cap inversion described in the module
+    docstring. Vectorized: ``cap_watts`` may be a scalar or an array.
+    """
+    cap = np.atleast_1d(np.asarray(cap_watts, dtype=float))
+    if np.any(cap <= 0):
+        raise ValueError("power caps must be positive")
+
+    demand_turbo = float(kind.demand(node, node.f_turbo))
+    demand_min = float(kind.demand(node, node.f_min))
+
+    freq = kind.freq_for_cap(node, cap)
+    speed = np.asarray(kind.speed(node, freq), dtype=float)
+    draw = np.asarray(kind.demand(node, freq), dtype=float)
+
+    # Regime 1: headroom — unthrottled turbo, draw the (lower) demand.
+    unconstrained = cap >= demand_turbo
+    speed = np.where(unconstrained, kind.speed(node, node.f_turbo), speed)
+    draw = np.where(unconstrained, demand_turbo, draw)
+
+    # Regime 2: throttled — RAPL holds the moving average at the cap.
+    throttled = (~unconstrained) & (cap >= demand_min)
+    draw = np.where(throttled, cap, draw)
+
+    # Regime 3: duty-cycled — cannot reach the cap even at f_min.
+    starved = cap < demand_min
+    if np.any(starved):
+        duty = cap / demand_min
+        speed = np.where(
+            starved, kind.speed(node, node.f_min) * duty, speed
+        )
+        draw = np.where(starved, cap, draw)
+
+    return OperatingPoint(speed=speed, draw_watts=draw)

@@ -1,0 +1,156 @@
+"""RAPL power-capping emulation.
+
+Models the behaviour of Intel RAPL as deployed on Theta (paper §VI-A,
+§VII-A):
+
+* caps are clamped to the supported range (98 W … TDP);
+* a new cap request takes effect only after an **actuation delay**
+  (10 ms on Theta's CPUs — §VII-E);
+* the **long-term** window (1 s moving average) is the default
+  enforcement: the draw of a throttled phase averages to the cap;
+* enabling the **short-term** window additionally (9.766 ms) makes RAPL
+  limit *slightly below* the requested power and increases run-to-run
+  variability (Table I) — we model the undershoot as a multiplicative
+  factor and let :mod:`repro.cluster.noise` widen its noise draw for
+  this mode.
+
+One :class:`RaplDomainArray` manages the caps of a whole partition as
+numpy arrays, which is what the vectorized proxy jobs use; a
+single-node domain is just an array of length 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.node import NodeSpec
+from repro.util.units import MS
+
+__all__ = ["CapMode", "RaplDomainArray"]
+
+
+class CapMode(enum.Enum):
+    """Which RAPL windows are armed (Table I's three cap types)."""
+
+    NONE = "none"  #: no capping — nodes run unconstrained (cap = TDP)
+    LONG = "long"  #: long-term (1 s) window only — the paper's default
+    LONG_SHORT = "long_short"  #: both windows — strict but noisy
+
+    @property
+    def undershoot(self) -> float:
+        """Fraction of the requested cap actually enforced.
+
+        With both windows armed, "RAPL limits the power slightly below
+        the requested power" (§VII-A).
+        """
+        return 0.985 if self is CapMode.LONG_SHORT else 1.0
+
+
+class RaplDomainArray:
+    """Per-node power caps for a set of nodes, with actuation latency.
+
+    Parameters
+    ----------
+    node:
+        Hardware envelope used for clamping.
+    n_nodes:
+        Number of nodes in the domain.
+    initial_cap_watts:
+        Cap installed at time 0 (scalar or per-node array). Ignored and
+        pinned to TDP when ``mode`` is :attr:`CapMode.NONE`.
+    mode:
+        Which RAPL windows are armed.
+    actuation_delay_s:
+        Seconds between a cap request and it taking effect.
+    """
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        n_nodes: int,
+        initial_cap_watts,
+        mode: CapMode = CapMode.LONG,
+        actuation_delay_s: float = 10 * MS,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("domain needs at least one node")
+        if actuation_delay_s < 0:
+            raise ValueError("negative actuation delay")
+        self.node = node
+        self.n_nodes = n_nodes
+        self.mode = mode
+        self.actuation_delay_s = actuation_delay_s
+        if mode is CapMode.NONE:
+            caps = np.full(n_nodes, node.tdp_watts, dtype=float)
+        else:
+            caps = self._clamp(
+                np.broadcast_to(
+                    np.asarray(initial_cap_watts, dtype=float), (n_nodes,)
+                ).copy()
+            )
+        self._caps = caps
+        self._pending: Optional[tuple[float, np.ndarray]] = None
+        #: diagnostic: number of accepted cap requests
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    def _clamp(self, caps: np.ndarray) -> np.ndarray:
+        return np.clip(caps, self.node.rapl_min_watts, self.node.tdp_watts)
+
+    def request_caps(self, caps_watts, now: float) -> np.ndarray:
+        """Request new per-node caps at time ``now``.
+
+        The request is clamped to the supported range and takes effect
+        at ``now + actuation_delay``. A second request before activation
+        supersedes the first (RAPL registers hold one value). Returns
+        the clamped caps that will be installed. In ``NONE`` mode the
+        request is ignored.
+        """
+        if self.mode is CapMode.NONE:
+            return self._caps.copy()
+        caps = self._clamp(
+            np.broadcast_to(
+                np.asarray(caps_watts, dtype=float), (self.n_nodes,)
+            ).copy()
+        )
+        self._pending = (now + self.actuation_delay_s, caps)
+        self.requests += 1
+        return caps.copy()
+
+    # ------------------------------------------------------------------
+    def _apply_pending(self, t: float) -> None:
+        if self._pending is not None and t >= self._pending[0]:
+            self._caps = self._pending[1]
+            self._pending = None
+
+    def segment_at(self, t: float) -> tuple[np.ndarray, float]:
+        """Enforced caps at time ``t`` and when they next change.
+
+        Returns ``(effective_caps, t_next_change)`` where
+        ``t_next_change`` is ``inf`` if no change is pending. The
+        effective caps include the short-window undershoot.
+        """
+        self._apply_pending(t)
+        if self._pending is not None:
+            nxt = self._pending[0]
+        else:
+            nxt = np.inf
+        return self._caps * self.mode.undershoot, nxt
+
+    @property
+    def requested_caps(self) -> np.ndarray:
+        """Most recently *requested* caps (pending included) — what the
+        controllers believe they allocated (Fig. 5 contrasts this with
+        measured power)."""
+        if self._pending is not None:
+            return self._pending[1].copy()
+        return self._caps.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RaplDomainArray n={self.n_nodes} mode={self.mode.value} "
+            f"caps~{float(np.mean(self._caps)):.1f}W>"
+        )

@@ -1,0 +1,9 @@
+"""Cluster-level power management across concurrent in-situ jobs.
+
+The paper's §VIII integration point: a machine-wide budget divided
+among jobs (each internally SeeSAw-managed), retargeted at epochs.
+"""
+
+from repro.sched.manager import ClusterPowerManager, ClusterResult, JobTelemetry
+
+__all__ = ["ClusterPowerManager", "ClusterResult", "JobTelemetry"]

@@ -1,0 +1,241 @@
+"""System-wide power management across concurrent in-situ jobs.
+
+The paper's future work (§VIII): "SeeSAw could be integrated with job
+schedulers and system-wide power management schemes." This module
+implements that integration point: a :class:`ClusterPowerManager` owns
+a *machine-level* power budget, runs several power-managed in-situ jobs
+concurrently (each one a :class:`~repro.workloads.ProxyJobSession`,
+internally managed by its own SeeSAw/other controller), and retargets
+the per-job budgets at fixed epochs.
+
+Two cluster-level policies:
+
+* ``static`` — each job keeps a budget proportional to its node count
+  for its whole life (what a budget-unaware scheduler does);
+* ``utilization`` — budgets track each job's *measured power share*
+  (EWMA-damped): a job whose workload saturates below its budget (a
+  communication-bound or low-demand mix) naturally cedes watts to jobs
+  that can convert them into speed. Note the contrast with the paper's
+  §VII finding: power-only feedback is harmful *between coupled
+  partitions* (waits masquerade as headroom), but across
+  **independent jobs** there is no such coupling, so utilization
+  tracking is sound — this boundary is exactly why the paper positions
+  SeeSAw as an application-level scheme complementary to system-wide
+  ones (§II).
+
+Budgets always respect each job's feasible envelope
+(``n_nodes x [δ_min, δ_max]``) and their sum never exceeds the machine
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.lammps_proxy import ProxyJobSession
+
+__all__ = ["ClusterPowerManager", "ClusterResult", "JobTelemetry"]
+
+
+@dataclass
+class JobTelemetry:
+    """Per-job outcome of a cluster run."""
+
+    name: str
+    finish_time_s: float
+    n_syncs: int
+    #: (epoch index, budget watts) history
+    budget_history: list = field(default_factory=list)
+    #: mean measured power over the job's life (W)
+    mean_power_w: float = 0.0
+
+
+@dataclass
+class ClusterResult:
+    policy: str
+    makespan_s: float
+    jobs: dict = field(default_factory=dict)  # {name: JobTelemetry}
+
+    def finish_time(self, name: str) -> float:
+        return self.jobs[name].finish_time_s
+
+
+class ClusterPowerManager:
+    """Epoch-based cluster power manager over proxy job sessions."""
+
+    def __init__(
+        self,
+        jobs: dict[str, ProxyJobSession],
+        machine_budget_w: float,
+        epoch_s: float = 60.0,
+        policy: str = "utilization",
+        damping: float = 0.5,
+    ) -> None:
+        """``jobs`` maps names to *fresh* sessions. ``machine_budget_w``
+        is the total power available to all jobs together; it must
+        cover every job's minimum (``n_nodes * δ_min``).
+
+        ``damping`` is the EWMA weight on new headroom measurements —
+        budget retargeting is deliberately sluggish, the opposite of the
+        per-synchronization inner loop."""
+        if not jobs:
+            raise ValueError("need at least one job")
+        if policy not in ("static", "utilization"):
+            raise ValueError("policy must be 'static' or 'utilization'")
+        if epoch_s <= 0:
+            raise ValueError("epoch must be positive")
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+        self.jobs = dict(jobs)
+        self.policy = policy
+        self.epoch_s = epoch_s
+        self.damping = damping
+
+        self._lo = {
+            name: s.cfg.n_nodes * s.cfg.machine.node.rapl_min_watts
+            for name, s in self.jobs.items()
+        }
+        self._hi = {
+            name: s.cfg.n_nodes * s.cfg.machine.node.tdp_watts
+            for name, s in self.jobs.items()
+        }
+        min_needed = sum(self._lo.values())
+        if machine_budget_w < min_needed:
+            raise ValueError(
+                f"machine budget {machine_budget_w} W below the jobs' "
+                f"aggregate minimum {min_needed} W"
+            )
+        self.machine_budget_w = machine_budget_w
+
+        self._last_measured: dict[str, float] = {}
+        # initial division: proportional to node counts
+        total_nodes = sum(s.cfg.n_nodes for s in self.jobs.values())
+        self._budgets = {
+            name: self._clamp(
+                name, machine_budget_w * s.cfg.n_nodes / total_nodes
+            )
+            for name, s in self.jobs.items()
+        }
+        for name, session in self.jobs.items():
+            session.set_budget(self._budgets[name])
+
+    # ------------------------------------------------------------------
+    def _clamp(self, name: str, budget: float) -> float:
+        return min(max(budget, self._lo[name]), self._hi[name])
+
+    def _epoch_power(
+        self, name: str, session: ProxyJobSession, records_before: int
+    ) -> float:
+        """Mean measured power over the records of the last epoch.
+
+        A job whose synchronization interval exceeds the epoch length
+        can overshoot a horizon and contribute no records to the next
+        epoch; its previous measurement is carried forward rather than
+        read as zero draw.
+        """
+        recs = session.records[records_before:]
+        if not recs:
+            return self._last_measured.get(name, 0.0)
+        energy = sum(r.sim_energy_j + r.ana_energy_j for r in recs)
+        span = sum(r.interval_s for r in recs)
+        power = energy / span if span > 0 else 0.0
+        self._last_measured[name] = power
+        return power
+
+    def _rebalance(self, measured_w: dict[str, float], active: list[str]) -> None:
+        """Utilization-proportional retargeting across active jobs.
+
+        Each active job's target budget is its share of the measured
+        power draw, scaled onto the power the active jobs currently
+        hold; the move is EWMA-damped and clamped to every job's
+        feasible envelope (iterating so clamp surpluses flow to the
+        unclamped jobs — same water-filling idea as the hierarchical
+        controller's level 2).
+        """
+        if self.policy == "static" or len(active) < 2:
+            return
+        budgets = self._budgets
+        total_active = sum(budgets[name] for name in active)
+        total_measured = sum(max(measured_w[name], 1.0) for name in active)
+        targets = {
+            name: total_active * max(measured_w[name], 1.0) / total_measured
+            for name in active
+        }
+        new = {
+            name: budgets[name]
+            + self.damping * (targets[name] - budgets[name])
+            for name in active
+        }
+        # clamp + redistribute the residual over unclamped jobs
+        for _ in range(len(active)):
+            clamped = {n: self._clamp(n, b) for n, b in new.items()}
+            residual = total_active - sum(clamped.values())
+            if abs(residual) < 1e-9:
+                new = clamped
+                break
+            if residual > 0:
+                free = [
+                    n for n in active if clamped[n] < self._hi[n] - 1e-9
+                ]
+            else:
+                free = [
+                    n for n in active if clamped[n] > self._lo[n] + 1e-9
+                ]
+            if not free:
+                new = clamped
+                break
+            for n in free:
+                clamped[n] += residual / len(free)
+            new = clamped
+        for name in active:
+            budgets[name] = self._clamp(name, new[name])
+            self.jobs[name].set_budget(budgets[name])
+
+    # ------------------------------------------------------------------
+    def run(self) -> ClusterResult:
+        """Run every job to completion; rebalance at epoch boundaries."""
+        telem = {
+            name: JobTelemetry(name=name, finish_time_s=0.0, n_syncs=0)
+            for name in self.jobs
+        }
+        epoch = 0
+        while any(not s.done for s in self.jobs.values()):
+            epoch += 1
+            horizon = epoch * self.epoch_s
+            measured: dict[str, float] = {}
+            active: list[str] = []
+            for name, session in self.jobs.items():
+                if session.done:
+                    continue
+                before = len(session.records)
+                while not session.done and session.t < horizon:
+                    session.step()
+                measured[name] = self._epoch_power(name, session, before)
+                if session.done:
+                    telem[name].finish_time_s = session.t
+                else:
+                    active.append(name)
+            self._rebalance(measured, active)
+            for name in self.jobs:
+                telem[name].budget_history.append(
+                    (epoch, self._budgets[name])
+                )
+
+        makespan = 0.0
+        for name, session in self.jobs.items():
+            t = telem[name]
+            t.n_syncs = session.step_index
+            energy = sum(
+                r.sim_energy_j + r.ana_energy_j for r in session.records
+            )
+            t.mean_power_w = (
+                energy / session.t / session.cfg.n_nodes
+                if session.t > 0
+                else 0.0
+            )
+            makespan = max(makespan, t.finish_time_s)
+        return ClusterResult(
+            policy=self.policy, makespan_s=makespan, jobs=telem
+        )

@@ -1,0 +1,41 @@
+"""Shared utilities: RNG streams, statistics, units, configuration.
+
+These helpers are deliberately dependency-light: everything in
+:mod:`repro` builds on them, so they must import quickly and carry no
+state of their own beyond what the caller passes in.
+"""
+
+from repro.util.rng import RngStream, spawn_streams
+from repro.util.stats import (
+    RunningMean,
+    ewma,
+    median,
+    percent_change,
+    summarize,
+    variability_pct,
+)
+from repro.util.units import (
+    MS,
+    US,
+    WATT,
+    format_seconds,
+    format_watts,
+    joules,
+)
+
+__all__ = [
+    "MS",
+    "US",
+    "WATT",
+    "RngStream",
+    "RunningMean",
+    "ewma",
+    "format_seconds",
+    "format_watts",
+    "joules",
+    "median",
+    "percent_change",
+    "spawn_streams",
+    "summarize",
+    "variability_pct",
+]

@@ -1,0 +1,125 @@
+"""Deterministic, hierarchical random-number streams.
+
+Every stochastic component in the reproduction (OS noise, power-sensor
+noise, per-job node allocation factors, MD initial velocities, ...)
+draws from its own named stream spawned from a single experiment seed.
+This gives two properties the experiment harness depends on:
+
+1. **Reproducibility** — the same experiment seed always produces the
+   same run, independent of how many other components consumed
+   randomness in between.
+2. **Variance isolation** — re-running a job with a different
+   *controller* but the same seed sees identical noise, which is how the
+   paper pairs each managed run with its baseline inside one job
+   (Section VII-A) to cancel allocation variability.
+
+Streams are thin wrappers around :class:`numpy.random.Generator` seeded
+via :class:`numpy.random.SeedSequence` spawning, which guarantees
+statistically independent child streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RngStream", "spawn_streams"]
+
+
+class RngStream:
+    """A named, independently seeded random stream.
+
+    Parameters
+    ----------
+    seed:
+        Either an integer, a :class:`numpy.random.SeedSequence`, or an
+        existing :class:`numpy.random.Generator` to wrap.
+    name:
+        Label used in ``repr`` and when spawning children; purely
+        diagnostic.
+    """
+
+    __slots__ = ("_gen", "_seq", "name")
+
+    def __init__(
+        self,
+        seed: int | np.random.SeedSequence | np.random.Generator = 0,
+        name: str = "root",
+    ) -> None:
+        self.name = name
+        if isinstance(seed, np.random.Generator):
+            self._seq = None
+            self._gen = seed
+        else:
+            self._seq = (
+                seed
+                if isinstance(seed, np.random.SeedSequence)
+                else np.random.SeedSequence(seed)
+            )
+            self._gen = np.random.default_rng(self._seq)
+
+    # -- spawning ------------------------------------------------------
+    def child(self, name: str) -> "RngStream":
+        """Spawn an independent child stream addressed by ``name``.
+
+        The child's seed derives from the parent's seed plus a stable
+        hash of the name, so children are **name-addressed**: the same
+        name always yields the same stream regardless of how many other
+        children were spawned before it (order-addressed spawning would
+        silently alias ``child("run0")`` and ``child("run1")``), and the
+        same name twice yields the same stream by design.
+        """
+        if self._seq is None:
+            raise ValueError(
+                f"stream {self.name!r} wraps a bare Generator and cannot spawn"
+            )
+        digest = int.from_bytes(
+            hashlib.sha256(name.encode()).digest()[:8], "little"
+        )
+        child_seq = np.random.SeedSequence(
+            entropy=self._seq.entropy,
+            spawn_key=self._seq.spawn_key + (digest,),
+        )
+        return RngStream(child_seq, name=f"{self.name}/{name}")
+
+    def children(self, names: Iterable[str]) -> dict[str, "RngStream"]:
+        """Spawn one child per name, returned keyed by name."""
+        return {n: self.child(n) for n in names}
+
+    # -- draws ---------------------------------------------------------
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator, for vectorized draws."""
+        return self._gen
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        return self._gen.uniform(low, high, size=size)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        return self._gen.normal(loc, scale, size=size)
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0, size=None):
+        """Multiplicative-noise workhorse; mean/sigma are of ``log``."""
+        return self._gen.lognormal(mean, sigma, size=size)
+
+    def integers(self, low: int, high: int | None = None, size=None):
+        return self._gen.integers(low, high, size=size)
+
+    def choice(self, a, size=None, replace: bool = True, p=None):
+        return self._gen.choice(a, size=size, replace=replace, p=p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngStream({self.name!r})"
+
+
+def spawn_streams(seed: int, names: Iterable[str]) -> dict[str, RngStream]:
+    """Convenience: build a root from ``seed`` and spawn named children.
+
+    >>> streams = spawn_streams(42, ["noise", "sensor"])
+    >>> sorted(streams)
+    ['noise', 'sensor']
+    """
+    root = RngStream(seed, name="root")
+    return root.children(names)

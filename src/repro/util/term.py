@@ -1,0 +1,68 @@
+"""Terminal charts: sparklines and bar charts for the report renderers.
+
+Everything in this reproduction renders to plain text (no plotting
+dependencies are available offline); these helpers keep the figure
+harnesses' and examples' charts consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "sparkline"]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 72,
+    label: str = "",
+) -> str:
+    """Render a series as a one-line density sparkline.
+
+    Values are resampled to ``width`` points and mapped onto a ten-step
+    character ramp between the series minimum and maximum; the range is
+    printed in the prefix so the line is self-describing.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).astype(int)
+        arr = arr[idx]
+    lo, hi = float(arr.min()), float(arr.max())
+    span = max(hi - lo, 1e-12)
+    chars = "".join(
+        _LEVELS[int((x - lo) / span * (len(_LEVELS) - 1))] for x in arr
+    )
+    prefix = f"{label} " if label else ""
+    return f"{prefix}[{lo:.4g}..{hi:.4g}]: {chars}"
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    width: int = 40,
+    fmt: str = "{:+7.2f}",
+) -> str:
+    """Render labelled values as horizontal hash bars.
+
+    Bars scale against the largest absolute value; negative values are
+    marked with ``-`` bars so gains and losses read at a glance.
+    """
+    if not rows:
+        raise ValueError("empty chart")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    peak = max(abs(v) for _, v in rows)
+    label_w = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        n = 0 if peak == 0 else int(round(abs(value) / peak * width))
+        bar = ("#" if value >= 0 else "-") * n
+        lines.append(f"{label.rjust(label_w)}  {fmt.format(value)}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Workload layer: calibrated profiles and the scaled proxy job.
+
+:mod:`repro.workloads.profiles` carries the paper-anchored constants
+(phase power characters, per-analysis work, scale effects);
+:mod:`repro.workloads.lammps_proxy` runs full 128–1024-node jobs in
+milliseconds; :mod:`repro.workloads.calibration` cross-checks the
+constants against the *real* engines in :mod:`repro.md` /
+:mod:`repro.analysis`.
+"""
+
+from repro.workloads.lammps_proxy import (
+    JobConfig,
+    JobResult,
+    ProxyJobSession,
+    SyncRecord,
+    run_job,
+)
+from repro.workloads.time_shared import (
+    TimeSharedResult,
+    run_time_shared_job,
+)
+from repro.workloads.profiles import (
+    ANALYSIS_PHASES,
+    PHASES,
+    WorkPhase,
+    analysis_work_phases,
+    atoms_total,
+    comm_scale,
+    sim_step_phases,
+    snapshot_bytes_per_node,
+)
+
+__all__ = [
+    "ANALYSIS_PHASES",
+    "JobConfig",
+    "JobResult",
+    "ProxyJobSession",
+    "PHASES",
+    "SyncRecord",
+    "TimeSharedResult",
+    "WorkPhase",
+    "analysis_work_phases",
+    "atoms_total",
+    "comm_scale",
+    "run_job",
+    "run_time_shared_job",
+    "sim_step_phases",
+    "snapshot_bytes_per_node",
+]

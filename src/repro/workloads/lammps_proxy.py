@@ -1,0 +1,594 @@
+"""LAMMPS+Splitanalysis proxy job: the scaled experiment engine.
+
+Runs a full power-managed in-situ job — 128 to 1024 nodes, 400 Verlet
+steps — in milliseconds of host time by evaluating both partitions'
+phase programs with vectorized per-node numpy math instead of per-rank
+DES processes. The physics (phase power model, RAPL actuation, noise,
+interconnect costs) is shared with the per-rank path; only the
+execution strategy differs.
+
+Timeline of one synchronization interval (paper §V, §VI-B):
+
+1. both partitions run their independent work programs (simulation:
+   ``j`` Verlet steps; analysis: the analyses due at this step);
+   per-node durations come from :func:`repro.power.execution
+   .execute_phase` under the current caps and noise draws;
+2. each rank calls ``poli_power_alloc`` on *arrival* — the allgather
+   inside synchronizes everyone, so the partition work time is the
+   slowest node's arrival (the paper's measurement);
+3. world rank 0 evaluates the controller and broadcasts; caps are
+   requested (10 ms RAPL actuation applies);
+4. the simulation→analysis data exchange (steps 2–4 of §V) completes
+   the synchronization; the next interval starts.
+
+Measurement model details:
+
+* the **work time** handed to controllers is the instrumented pre-wait
+  arrival time (SeeSAw's signal);
+* the **epoch time** per node — what an uninstrumented system-level
+  balancer sees — is ``work + ATTRIBUTION_LEAK * wait`` with
+  multiplicative jitter: a system tool cannot cleanly separate the
+  in-situ exchange wait from application work inside the nested
+  sub-communicators (the paper's core argument, §I/§IV-B);
+* per-node **power** is the RAPL counter difference over the interval
+  (compute + wait + sync segments), with sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec, theta
+from repro.cluster.noise import NoiseConfig, NoiseModel
+from repro.core.controller import PowerController
+from repro.core.types import Allocation, Observation, PartitionMeasurement
+from repro.power.execution import execute_phase
+from repro.power.rapl import CapMode, RaplDomainArray
+from repro.power.trace import PowerTrace
+from repro.util.rng import RngStream
+from repro.workloads.profiles import (
+    SETUP_OVERHEAD_FACTOR,
+    SETUP_OVERHEAD_STEPS,
+    WorkPhase,
+    analysis_work_phases,
+    sim_step_phases,
+    snapshot_bytes_per_node,
+)
+
+__all__ = ["JobConfig", "JobResult", "ProxyJobSession", "SyncRecord", "run_job"]
+
+#: bytes of the per-rank report exchanged by the power manager
+REPORT_BYTES = 64
+
+
+def attribution_leak(n_total_nodes: int) -> tuple[float, float]:
+    """Fractions of synchronization slack a system-level observer
+    misattributes as work — ``(sim_leak, ana_leak)``.
+
+    The two partitions' slack looks different from outside (the paper's
+    §I/§IV-B argument that linking time measurements to application
+    events is non-trivial):
+
+    * when the **analysis** is the straggler, the simulation's excess
+      time is spent *inside* the steps-2–4 exchange protocol — blocking
+      sends, data-structure rebuilds, count verification — i.e.
+      low-power communication *work* ("simulation consumes 102–104 W at
+      each synchronization", §VII-B1). A time-only balancer counts it
+      as work, so simulation and analysis epochs look nearly equal —
+      "the time difference between them is incidentally low" (§VII-B3)
+      — and the balancer locks into whatever allocation its early steps
+      chose. Hence a high ``sim_leak`` that grows with scale (longer
+      collective phases).
+    * when the **simulation** is the straggler, the analysis sits in a
+      bare MPI receive, which any PMPI-level observer attributes as
+      wait. Hence a low ``ana_leak`` — and this clean signal during the
+      simulation's setup transient is exactly what baits the balancer
+      into shifting power away from the analysis "too quickly"
+      (§VII-B1).
+    """
+    import math
+
+    sim_leak = 0.85
+    if n_total_nodes > 128:
+        sim_leak = min(1.0, sim_leak + 0.05 * math.log2(n_total_nodes / 128))
+    return sim_leak, 0.25
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """One LAMMPS in-situ job (paper §VII parameter set)."""
+
+    analyses: tuple[str, ...] = ("full_msd",)
+    dim: int = 16
+    n_nodes: int = 128  #: total nodes; split equally sim/ana
+    j: int = 1  #: Verlet steps between synchronizations
+    n_verlet_steps: int = 400
+    budget_per_node_w: float = 110.0
+    cap_mode: CapMode = CapMode.LONG
+    seed: int = 0
+    #: per-analysis invocation interval in synchronizations (Table II);
+    #: analyses absent from the map run at every synchronization
+    analysis_intervals: dict = field(default_factory=dict)
+    machine: MachineSpec = field(default_factory=theta)
+    noise_config: NoiseConfig = field(default_factory=NoiseConfig)
+    collect_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2 or self.n_nodes % 2:
+            raise ValueError("n_nodes must be even and >= 2")
+        if self.j < 1 or self.n_verlet_steps < self.j:
+            raise ValueError("invalid j / step count")
+        if not self.analyses:
+            raise ValueError("need at least one analysis")
+        self.machine.validate_job(self.n_nodes)
+
+    @property
+    def n_sim(self) -> int:
+        return self.n_nodes // 2
+
+    @property
+    def n_ana(self) -> int:
+        return self.n_nodes // 2
+
+    @property
+    def n_syncs(self) -> int:
+        return self.n_verlet_steps // self.j
+
+    @property
+    def budget_w(self) -> float:
+        return self.budget_per_node_w * self.n_nodes
+
+
+@dataclass
+class SyncRecord:
+    """Everything the figures need about one synchronization interval."""
+
+    step: int
+    t_start: float
+    interval_s: float
+    sim_work_s: float
+    ana_work_s: float
+    overhead_s: float
+    sync_s: float
+    #: |T_sim - T_ana| normalized by the interval (Fig. 4's black line)
+    slack_norm: float
+    sim_cap_mean_w: float
+    ana_cap_mean_w: float
+    sim_power_mean_w: float
+    ana_power_mean_w: float
+    sim_energy_j: float
+    ana_energy_j: float
+
+
+@dataclass
+class JobResult:
+    config: JobConfig
+    controller_name: str
+    total_time_s: float
+    records: list[SyncRecord]
+    sim_trace: PowerTrace | None = None
+    ana_trace: PowerTrace | None = None
+
+    @property
+    def mean_slack(self) -> float:
+        """Mean normalized slack from the 10th step on (paper §VII-B1
+        computes the MSD slack average "calculated from the 10th
+        step")."""
+        tail = [r.slack_norm for r in self.records if r.step >= 10]
+        if not tail:
+            tail = [r.slack_norm for r in self.records]
+        return float(np.mean(tail))
+
+
+class _Partition:
+    """Vectorized per-node state of one partition."""
+
+    def __init__(
+        self,
+        name: str,
+        n_nodes: int,
+        cfg: JobConfig,
+        noise: NoiseModel,
+        initial_caps: np.ndarray,
+        trace: PowerTrace | None,
+    ) -> None:
+        self.name = name
+        self.n = n_nodes
+        self.node = cfg.machine.node
+        self.domain = RaplDomainArray(
+            self.node,
+            n_nodes,
+            initial_caps,
+            mode=cfg.cap_mode,
+            actuation_delay_s=cfg.machine.rapl_actuation_s,
+        )
+        self.noise = noise
+        self.trace = trace
+
+    def run_program(
+        self, phases: list[WorkPhase], t_start: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Execute phases sequentially.
+
+        Returns per-node ``(times, clean_times, energy)`` — ``times``
+        carries the slowest-rank view (interference spikes included;
+        this is what gates the partition and what PoLiMER reports),
+        ``clean_times`` the median-of-ranks view a system-level
+        balancer sees (spikes filtered).
+
+        Phases run back-to-back per node; since cap changes happen only
+        near the interval start, executing each phase from the *mean*
+        frontier keeps the cap-splitting exact enough while staying
+        vectorized (the 10 ms actuation offset is tiny against multi-
+        second phases).
+        """
+        times = np.zeros(self.n)
+        clean_times = np.zeros(self.n)
+        energy = np.zeros(self.n)
+        t = t_start
+        for phase in phases:
+            spiked, clean = self.noise.phase_factor_pair()
+            outcome = execute_phase(
+                phase.kind,
+                self.node,
+                phase.work_s,
+                self.domain,
+                t_start=t,
+                noise_factors=spiked,
+            )
+            if self.trace is not None and outcome.slowest > 0:
+                mean_dur = float(outcome.durations.mean())
+                if mean_dur > 0:
+                    draw = float(outcome.energy_joules.mean()) / mean_dur
+                    self.trace.add(t, t + mean_dur, draw)
+            times += outcome.durations
+            # duration scales linearly with the noise factor, so the
+            # clean view is an exact rescale per node
+            clean_times += outcome.durations * (clean / spiked)
+            energy += outcome.energy_joules
+            t = t_start + float(times.mean())
+        return times, clean_times, energy
+
+    def wait_draw(self, t: float) -> np.ndarray:
+        caps, _ = self.domain.segment_at(t)
+        return np.minimum(self.node.p_wait_watts, caps)
+
+    def add_trace(self, t0: float, t1: float, draw: float) -> None:
+        if self.trace is not None and t1 > t0:
+            self.trace.add(t0, t1, draw)
+
+
+def _analyses_due(cfg: JobConfig, step: int) -> list[str]:
+    """Which analyses run at synchronization ``step`` (Table II)."""
+    due = []
+    for name in cfg.analyses:
+        interval = cfg.analysis_intervals.get(name, 1)
+        if step % interval == 0:
+            due.append(name)
+    return due
+
+
+def _overhead_s(cfg: JobConfig) -> float:
+    """Controller invocation cost: the manager's allgather + bcast plus
+    a fixed software term (measurement reads + Eq. 1-4 arithmetic)."""
+    ic = cfg.machine.interconnect()
+    return (
+        ic.collective_time("allgather", cfg.n_nodes, REPORT_BYTES)
+        + ic.collective_time("bcast", cfg.n_nodes, REPORT_BYTES * cfg.n_nodes)
+        + 120e-6
+    )
+
+
+class ProxyJobSession:
+    """A steppable power-managed job: one synchronization per ``step``.
+
+    ``run_job`` wraps this for the common run-to-completion case; the
+    cluster-level scheduler (:mod:`repro.sched`) steps multiple
+    sessions concurrently and retargets their budgets between epochs
+    via :meth:`set_budget`.
+
+    ``cfg.seed`` fixes the *job* identity (node allocation, job-wide
+    speed factor); ``run_index`` selects one *run* within that job
+    (transient phase/sensor noise). Repeating a seed with different
+    run indices reproduces the paper's run-to-run setup (§VII-A,
+    Table I); changing the seed is a new job.
+    """
+
+    def __init__(
+        self,
+        cfg: JobConfig,
+        controller: PowerController,
+        rng: RngStream | None = None,
+        run_index: int = 0,
+    ) -> None:
+        if controller.n_sim != cfg.n_sim or controller.n_ana != cfg.n_ana:
+            raise ValueError("controller shape does not match the job")
+        self.cfg = cfg
+        self.controller = controller
+        root = rng if rng is not None else RngStream(cfg.seed, name="job")
+        run_rng = root.child(f"run{run_index}")
+        # One job-wide allocation factor shared by both partitions: the
+        # machine's run-to-run state affects the whole job, not a side.
+        job_factor = NoiseModel.draw_job_factor(
+            root.child("job_shared"), cfg.cap_mode, cfg.noise_config
+        )
+        noise_sim = NoiseModel(
+            root.child("sim"),
+            cfg.n_sim,
+            cfg.cap_mode,
+            cfg.noise_config,
+            job_factor=job_factor,
+            phase_rng=run_rng.child("sim_phase"),
+        )
+        noise_ana = NoiseModel(
+            root.child("ana"),
+            cfg.n_ana,
+            cfg.cap_mode,
+            cfg.noise_config,
+            job_factor=job_factor,
+            phase_rng=run_rng.child("ana_phase"),
+        )
+        self._sensor = run_rng.child("sensor")
+        self._epoch_rng = run_rng.child("epoch")
+
+        alloc = controller.initial_allocation()
+        self.sim = _Partition(
+            "sim",
+            cfg.n_sim,
+            cfg,
+            noise_sim,
+            alloc.sim_caps_w,
+            PowerTrace("sim") if cfg.collect_traces else None,
+        )
+        self.ana = _Partition(
+            "ana",
+            cfg.n_ana,
+            cfg,
+            noise_ana,
+            alloc.ana_caps_w,
+            PowerTrace("ana") if cfg.collect_traces else None,
+        )
+        ic = cfg.machine.interconnect()
+        self._overhead = _overhead_s(cfg)
+        self._sync_s = ic.exchange_time(
+            snapshot_bytes_per_node(cfg.dim, cfg.n_sim), cfg.n_sim
+        ) + ic.collective_time("barrier", cfg.n_nodes, 0)
+
+        self.t = 0.0
+        self.step_index = 0
+        self.records: list[SyncRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.step_index >= self.cfg.n_syncs
+
+    @property
+    def budget_w(self) -> float:
+        return self.controller.budget_w
+
+    def set_budget(self, budget_w: float) -> None:
+        """Retarget the job's global power budget (scheduler hook).
+
+        The controller's subsequent decisions honour the new budget;
+        to make feedback-free controllers (and the interval until the
+        next decision) honour it too, the currently requested caps are
+        rescaled proportionally and re-requested immediately.
+        """
+        lo = self.cfg.n_nodes * self.cfg.machine.node.rapl_min_watts
+        hi = self.cfg.n_nodes * self.cfg.machine.node.tdp_watts
+        budget_w = min(max(budget_w, lo), hi)
+        self.controller.budget_w = budget_w
+        current = float(
+            self.sim.domain.requested_caps.sum()
+            + self.ana.domain.requested_caps.sum()
+        )
+        if current > 0:
+            scale = budget_w / current
+            self.sim.domain.request_caps(
+                self.sim.domain.requested_caps * scale, now=self.t
+            )
+            self.ana.domain.request_caps(
+                self.ana.domain.requested_caps * scale, now=self.t
+            )
+
+    # ------------------------------------------------------------------
+    def step(self) -> SyncRecord:
+        """Advance one synchronization interval."""
+        if self.done:
+            raise RuntimeError("job already completed")
+        cfg = self.cfg
+        sim, ana = self.sim, self.ana
+        step = self.step_index + 1
+        t0 = self.t
+        overhead, sync_s = self._overhead, self._sync_s
+
+        # --- independent work -----------------------------------------
+        sim_phases: list[WorkPhase] = []
+        for _ in range(cfg.j):
+            sim_phases.extend(
+                sim_step_phases(cfg.dim, cfg.n_sim, cfg.n_nodes, step)
+            )
+        due = _analyses_due(cfg, step)
+        ana_phases = (
+            analysis_work_phases(due, cfg.dim, cfg.n_ana, cfg.n_nodes)
+            if due
+            else []
+        )
+        sim_times, sim_clean, sim_energy = sim.run_program(sim_phases, t0)
+        ana_times, ana_clean, ana_energy = ana.run_program(ana_phases, t0)
+        if not len(ana_phases):
+            ana_times = np.zeros(cfg.n_ana)
+            ana_clean = np.zeros(cfg.n_ana)
+            ana_energy = np.zeros(cfg.n_ana)
+
+        sim_work = float(sim_times.max())
+        ana_work = float(ana_times.max()) if due else 0.0
+        work = max(sim_work, ana_work)
+
+        # waiting for the other partition (spin-wait draw)
+        sim_wait = work - sim_times
+        ana_wait = work - ana_times
+        t_arrive = t0 + work
+        sim_energy = sim_energy + sim_wait * sim.wait_draw(t_arrive)
+        ana_energy = ana_energy + ana_wait * ana.wait_draw(t_arrive)
+
+        # trace the waiting tail of the faster partition (Fig. 1's idle
+        # plateau at ~105 W)
+        if cfg.collect_traces:
+            sim_mean_end = t0 + float(sim_times.mean())
+            ana_mean_end = t0 + float(ana_times.mean())
+            sim.add_trace(
+                sim_mean_end, t_arrive, float(sim.wait_draw(t_arrive).mean())
+            )
+            ana.add_trace(
+                ana_mean_end, t_arrive, float(ana.wait_draw(t_arrive).mean())
+            )
+
+        # --- allocation + synchronization ------------------------------
+        # With no analysis due this step, there is no simulation↔
+        # analysis synchronization at all (§V: steps 2-4 and 7 are
+        # skipped until the next j-th step) — hence no exchange, no
+        # poli_power_alloc, and the measurement carries no analysis
+        # information the controller could act on.
+        step_sync_s = sync_s if due else 0.0
+        step_overhead = overhead if due else 0.0
+        interval = work + step_overhead + step_sync_s
+        comm_draw_sim = np.minimum(103.0, sim.wait_draw(t_arrive))
+        comm_draw_ana = np.minimum(103.0, ana.wait_draw(t_arrive))
+        sim_energy = sim_energy + (step_overhead + step_sync_s) * comm_draw_sim
+        ana_energy = ana_energy + (step_overhead + step_sync_s) * comm_draw_ana
+        if cfg.collect_traces:
+            sim.add_trace(t_arrive, t0 + interval, float(comm_draw_sim.mean()))
+            ana.add_trace(t_arrive, t0 + interval, float(comm_draw_ana.mean()))
+
+        t_decide = t_arrive + step_overhead
+        if due:
+            obs = _build_observation(
+                step,
+                cfg,
+                sim_times,
+                ana_times,
+                sim_clean,
+                ana_clean,
+                sim_wait,
+                ana_wait,
+                sim_energy,
+                ana_energy,
+                interval,
+                self._sensor,
+                self._epoch_rng,
+                due,
+            )
+            decision = self.controller.observe(obs)
+            if decision is not None:
+                sim.domain.request_caps(decision.sim_caps_w, now=t_decide)
+                ana.domain.request_caps(decision.ana_caps_w, now=t_decide)
+
+        record = SyncRecord(
+            step=step,
+            t_start=t0,
+            interval_s=interval,
+            sim_work_s=sim_work,
+            ana_work_s=ana_work,
+            overhead_s=step_overhead,
+            sync_s=step_sync_s,
+            slack_norm=abs(sim_work - ana_work) / interval,
+            sim_cap_mean_w=float(np.mean(sim.domain.requested_caps)),
+            ana_cap_mean_w=float(np.mean(ana.domain.requested_caps)),
+            sim_power_mean_w=float(np.mean(sim_energy)) / interval,
+            ana_power_mean_w=float(np.mean(ana_energy)) / interval,
+            sim_energy_j=float(np.sum(sim_energy)),
+            ana_energy_j=float(np.sum(ana_energy)),
+        )
+        self.records.append(record)
+        self.t = t0 + interval
+        self.step_index = step
+        return record
+
+    def run(self) -> JobResult:
+        """Run the remaining synchronizations to completion."""
+        while not self.done:
+            self.step()
+        return self.result()
+
+    def result(self) -> JobResult:
+        return JobResult(
+            config=self.cfg,
+            controller_name=self.controller.name,
+            total_time_s=self.t,
+            records=self.records,
+            sim_trace=self.sim.trace,
+            ana_trace=self.ana.trace,
+        )
+
+
+def run_job(
+    cfg: JobConfig,
+    controller: PowerController,
+    rng: RngStream | None = None,
+    run_index: int = 0,
+) -> JobResult:
+    """Run one power-managed in-situ job to completion.
+
+    Convenience wrapper around :class:`ProxyJobSession`.
+    """
+    return ProxyJobSession(cfg, controller, rng=rng, run_index=run_index).run()
+
+
+def _build_observation(
+    step: int,
+    cfg: JobConfig,
+    sim_times: np.ndarray,
+    ana_times: np.ndarray,
+    sim_clean: np.ndarray,
+    ana_clean: np.ndarray,
+    sim_wait: np.ndarray,
+    ana_wait: np.ndarray,
+    sim_energy: np.ndarray,
+    ana_energy: np.ndarray,
+    interval: float,
+    sensor: RngStream,
+    epoch_rng: RngStream,
+    due: list[str],
+) -> Observation:
+    """Assemble the controllers' view of one interval.
+
+    The partition ``work_time`` is the slowest-rank time (spikes
+    included — that is PoLiMER's instrumented measurement and also what
+    physically gates the job); the per-node epoch times use the
+    median-of-ranks (spike-filtered) view plus misattributed wait,
+    which is what a system-level balancer observes.
+    """
+
+    sim_leak, ana_leak = attribution_leak(cfg.n_nodes)
+
+    def epoch(clean: np.ndarray, waits: np.ndarray, leak: float, rng_) -> np.ndarray:
+        observed = clean + leak * waits
+        jitter = rng_.lognormal(0.0, 0.03, size=len(clean))
+        return observed * jitter
+
+    def power(energy: np.ndarray) -> np.ndarray:
+        return np.maximum(
+            energy / interval + sensor.normal(0.0, 1.5, size=len(energy)),
+            1.0,
+        )
+
+    sim_m = PartitionMeasurement(
+        work_time_s=float(sim_times.max()),
+        energy_j=float(sim_energy.sum()),
+        interval_s=interval,
+        node_epoch_times_s=epoch(sim_clean, sim_wait, sim_leak, epoch_rng),
+        node_power_w=power(sim_energy),
+    )
+    ana_work = float(ana_times.max()) if due else 1e-9
+    ana_m = PartitionMeasurement(
+        work_time_s=max(ana_work, 1e-9),
+        energy_j=float(ana_energy.sum()),
+        interval_s=interval,
+        node_epoch_times_s=epoch(ana_clean, ana_wait, ana_leak, epoch_rng),
+        node_power_w=power(ana_energy),
+    )
+    return Observation(step=step, sim=sim_m, ana=ana_m)

@@ -1,0 +1,120 @@
+"""Additional analysis coverage: frame plumbing, accumulation across
+frames, hypothesis properties on the MSD family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Frame,
+    MSD1D,
+    MeanSquaredDisplacement,
+    RadialDistribution,
+    VelocityAutocorrelation,
+    frame_from_system,
+)
+from repro.md.system import Species, water_ion_box
+from repro.util.rng import RngStream
+
+
+def make_frame(pos, vel=None, step=0, edge=50.0):
+    pos = np.asarray(pos, dtype=float)
+    n = len(pos)
+    return Frame(
+        step=step,
+        time=float(step),
+        box_lengths=np.full(3, edge),
+        positions=pos,
+        velocities=np.zeros((n, 3)) if vel is None else np.asarray(vel),
+        types=np.full(n, Species.CAT),
+        molecule_ids=np.arange(n),
+    )
+
+
+def test_frame_from_system_uses_unwrapped_positions():
+    sys_ = water_ion_box(dim=1, seed=8)
+    sys_.images[0] = [2, 0, 0]
+    frame = frame_from_system(sys_, step=3, time=0.1)
+    expected = sys_.positions[0, 0] + 2 * sys_.box.lengths[0]
+    assert frame.positions[0, 0] == pytest.approx(expected)
+    assert frame.step == 3
+
+
+def test_frames_seen_counter():
+    msd = MeanSquaredDisplacement()
+    f = make_frame(np.zeros((4, 3)))
+    msd.update(f)
+    msd.update(make_frame(np.ones((4, 3)), step=1))
+    assert msd.frames_seen == 2
+
+
+def test_vacf_zero_initial_velocities_rejected():
+    vacf = VelocityAutocorrelation()
+    with pytest.raises(ValueError):
+        vacf.update(make_frame(np.zeros((4, 3))))
+
+
+def test_msd1d_invalid_binning():
+    with pytest.raises(ValueError):
+        MSD1D(n_bins=0)
+    with pytest.raises(ValueError):
+        MSD1D(axis=3)
+
+
+def test_rdf_accumulates_over_frames():
+    """g(r) statistics tighten as frames accumulate (ideal gas -> 1)."""
+    def frame(seed):
+        rng = RngStream(seed)
+        pos = rng.uniform(0.0, 10.0, size=(2000, 3))
+        return Frame(
+            step=seed,
+            time=float(seed),
+            box_lengths=np.full(3, 10.0),
+            positions=pos,
+            velocities=np.zeros((2000, 3)),
+            types=np.full(2000, Species.O),
+            molecule_ids=np.arange(2000),
+        )
+
+    few = RadialDistribution(Species.O, Species.O, r_max=3.0, n_bins=20)
+    few.update(frame(0))
+    many = RadialDistribution(Species.O, Species.O, r_max=3.0, n_bins=20)
+    for s in range(6):
+        many.update(frame(s))
+    _, g_few = few.result()
+    _, g_many = many.result()
+    assert np.abs(g_many[8:] - 1.0).mean() <= np.abs(g_few[8:] - 1.0).mean()
+
+
+@given(
+    st.floats(-3.0, 3.0),
+    st.floats(-3.0, 3.0),
+    st.floats(-3.0, 3.0),
+    st.integers(1, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_msd_of_rigid_translation(dx, dy, dz, steps):
+    """Translating every molecule by v*t gives MSD = |v|^2 t^2 exactly."""
+    rng = RngStream(1)
+    pos0 = rng.uniform(0.0, 40.0, size=(50, 3))
+    v = np.array([dx, dy, dz])
+    msd = MeanSquaredDisplacement()
+    for t in range(steps + 1):
+        msd.update(make_frame(pos0 + v * t, step=t))
+    times, series = msd.result()
+    expected = (np.linalg.norm(v) ** 2) * times**2
+    assert np.allclose(series, expected, atol=1e-8)
+
+
+@given(st.integers(2, 9))
+@settings(max_examples=20, deadline=None)
+def test_property_msd1d_bins_partition_molecules(n_bins):
+    """Every molecule lands in exactly one bin: bin counts sum to n."""
+    rng = RngStream(2)
+    pos0 = rng.uniform(0.0, 50.0, size=(120, 3))
+    msd1d = MSD1D(n_bins=n_bins)
+    msd1d.update(make_frame(pos0))
+    assert msd1d._counts.sum() == 120
+    assert np.all(msd1d._bin_of_mol >= 0)
+    assert np.all(msd1d._bin_of_mol < n_bins)

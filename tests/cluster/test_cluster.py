@@ -1,0 +1,150 @@
+"""Tests for node spec, machine, interconnect and noise model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Interconnect,
+    InterconnectSpec,
+    NoiseConfig,
+    NoiseModel,
+    NodeSpec,
+    THETA_NODE,
+    theta,
+)
+from repro.power.rapl import CapMode
+from repro.util.rng import RngStream
+
+
+# ---------------------------------------------------------------- node
+def test_theta_node_matches_paper():
+    assert THETA_NODE.f_base == 1.3
+    assert THETA_NODE.f_turbo == 1.5
+    assert THETA_NODE.tdp_watts == 215.0
+    assert THETA_NODE.rapl_min_watts == 98.0
+    assert THETA_NODE.cores == 64
+
+
+def test_node_clamp_cap():
+    assert THETA_NODE.clamp_cap(50.0) == 98.0
+    assert THETA_NODE.clamp_cap(110.0) == 110.0
+    assert THETA_NODE.clamp_cap(400.0) == 215.0
+
+
+def test_invalid_node_specs():
+    with pytest.raises(ValueError):
+        NodeSpec(f_min=2.0)  # above base
+    with pytest.raises(ValueError):
+        NodeSpec(p_floor_watts=300.0)
+    with pytest.raises(ValueError):
+        NodeSpec(cores=0)
+
+
+# ---------------------------------------------------------------- machine
+def test_xeon_cluster_machine():
+    from repro.cluster import xeon_cluster
+
+    m = xeon_cluster()
+    assert m.name == "xeon-cluster"
+    assert m.node.tdp_watts == 165.0
+    assert m.node.rapl_min_watts == 70.0
+    assert m.node.p_floor_watts < m.node.rapl_min_watts
+    m.validate_job(128)
+    # faster fabric, faster actuation than Theta
+    assert m.rapl_actuation_s < theta().rapl_actuation_s
+    assert (
+        m.interconnect_spec.bandwidth_Bps
+        > theta().interconnect_spec.bandwidth_Bps
+    )
+
+
+def test_theta_machine():
+    m = theta()
+    assert m.total_nodes == 4392
+    assert m.rapl_actuation_s == pytest.approx(0.010)
+    assert m.sensor_period_s == pytest.approx(0.2)
+    m.validate_job(1024)
+    with pytest.raises(ValueError):
+        m.validate_job(5000)
+    with pytest.raises(ValueError):
+        m.validate_job(0)
+
+
+# ---------------------------------------------------------------- interconnect
+def test_p2p_time_latency_plus_bandwidth():
+    ic = Interconnect(InterconnectSpec(latency_s=1e-6, bandwidth_Bps=1e9))
+    assert ic.p2p_time(0) == pytest.approx(1e-6)
+    assert ic.p2p_time(10**9) == pytest.approx(1.000001)
+
+
+def test_collective_grows_with_scale():
+    ic = theta().interconnect()
+    t128 = ic.collective_time("allreduce", 128, 64)
+    t1024 = ic.collective_time("allreduce", 1024, 64)
+    assert t1024 > t128
+
+
+def test_collective_single_rank_free():
+    ic = theta().interconnect()
+    assert ic.collective_time("allreduce", 1, 64) == 0.0
+
+
+def test_congestion_grows_with_nodes():
+    ic = theta().interconnect()
+    assert ic.congestion_factor(1) == 1.0
+    assert ic.congestion_factor(1024) > ic.congestion_factor(128) > 1.0
+
+
+def test_exchange_time_scales_with_bytes_and_nodes():
+    ic = theta().interconnect()
+    small = ic.exchange_time(10**6, 128)
+    big = ic.exchange_time(10**7, 128)
+    scaled = ic.exchange_time(10**6, 1024)
+    assert big > small
+    assert scaled > small
+
+
+def test_exchange_negative_rejected():
+    with pytest.raises(ValueError):
+        theta().interconnect().exchange_time(-1, 4)
+
+
+# ---------------------------------------------------------------- noise
+def test_phase_factors_shape_and_positivity():
+    nm = NoiseModel(RngStream(1), n_nodes=16, mode=CapMode.LONG)
+    f = nm.phase_factors()
+    assert f.shape == (16,)
+    assert np.all(f > 0)
+
+
+def test_noise_grows_with_cap_mode():
+    cfg = NoiseConfig()
+    assert (
+        cfg.phase_sigma[CapMode.NONE]
+        < cfg.phase_sigma[CapMode.LONG]
+        < cfg.phase_sigma[CapMode.LONG_SHORT]
+    )
+
+
+def test_same_seed_same_noise():
+    a = NoiseModel(RngStream(7), 8, CapMode.LONG)
+    b = NoiseModel(RngStream(7), 8, CapMode.LONG)
+    assert a.job_factor == b.job_factor
+    assert np.allclose(a.phase_factors(), b.phase_factors())
+
+
+def test_different_seeds_differ():
+    a = NoiseModel(RngStream(7), 8, CapMode.LONG)
+    b = NoiseModel(RngStream(8), 8, CapMode.LONG)
+    assert a.job_factor != b.job_factor
+
+
+def test_sensor_noise_centered():
+    nm = NoiseModel(RngStream(3), 4, CapMode.LONG)
+    samples = nm.sensor_noise(size=4000)
+    assert abs(np.mean(samples)) < 0.2
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ValueError):
+        NoiseModel(RngStream(1), 0, CapMode.LONG)

@@ -1,0 +1,255 @@
+"""Tests for the static, power-aware and time-aware comparators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import (
+    Observation,
+    PartitionMeasurement,
+    PowerAwareController,
+    StaticController,
+    TimeAwareController,
+)
+from repro.core.controller import clamp_partition_totals
+
+
+def measurement(times, powers, work_time=None, interval=None):
+    times = np.asarray(times, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    wt = work_time if work_time is not None else float(times.max())
+    iv = interval if interval is not None else wt
+    return PartitionMeasurement(
+        work_time_s=wt,
+        energy_j=float(powers.sum()) * iv,
+        interval_s=iv,
+        node_epoch_times_s=times,
+        node_power_w=powers,
+    )
+
+
+# ------------------------------------------------------------- clamping
+def test_clamp_noop_when_feasible():
+    s, a = clamp_partition_totals(115.0, 105.0, 1, 1, THETA_NODE)
+    assert (s, a) == (115.0, 105.0)
+
+
+def test_clamp_delta_min():
+    s, a = clamp_partition_totals(130.0, 90.0, 1, 1, THETA_NODE)
+    assert a == pytest.approx(98.0)
+    assert s == pytest.approx(122.0)
+
+
+def test_clamp_delta_max():
+    s, a = clamp_partition_totals(250.0, 100.0, 1, 1, THETA_NODE)
+    assert s == pytest.approx(215.0)
+    assert a == pytest.approx(135.0)
+
+
+def test_clamp_tie_prefers_delta_max():
+    # sim above max AND ana below min: handle δ_max first.
+    s, a = clamp_partition_totals(230.0, 90.0, 1, 1, THETA_NODE)
+    assert s == pytest.approx(215.0)
+    assert a == pytest.approx(105.0)
+
+
+def test_clamp_budget_preserved():
+    s, a = clamp_partition_totals(180.0, 120.0, 1, 1, THETA_NODE)
+    assert s + a == pytest.approx(300.0)
+
+
+def test_clamp_infeasible_budget_snapped():
+    s, a = clamp_partition_totals(50.0, 40.0, 1, 1, THETA_NODE)
+    assert s == pytest.approx(98.0)
+    assert a == pytest.approx(98.0)
+
+
+# ------------------------------------------------------------- static
+def test_static_even_split():
+    ctl = StaticController(110.0 * 4, 2, 2, THETA_NODE)
+    alloc = ctl.initial_allocation()
+    assert np.allclose(alloc.sim_caps_w, 110.0)
+    assert np.allclose(alloc.ana_caps_w, 110.0)
+
+
+def test_static_never_reallocates():
+    ctl = StaticController(220.0, 1, 1, THETA_NODE)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1, sim=measurement([10.0], [110.0]), ana=measurement([1.0], [110.0])
+    )
+    assert ctl.observe(obs) is None
+
+
+def test_static_unbalanced_share():
+    ctl = StaticController(220.0, 1, 1, THETA_NODE, sim_share=120 / 220)
+    alloc = ctl.initial_allocation()
+    assert alloc.sim_caps_w[0] == pytest.approx(120.0)
+    assert alloc.ana_caps_w[0] == pytest.approx(100.0)
+
+
+def test_static_invalid_share():
+    with pytest.raises(ValueError):
+        StaticController(220.0, 1, 1, THETA_NODE, sim_share=1.5)
+
+
+def test_budget_below_machine_minimum_rejected():
+    with pytest.raises(ValueError):
+        StaticController(100.0, 1, 1, THETA_NODE)
+
+
+# ------------------------------------------------------------- power-aware
+def test_power_aware_no_action_without_capped_nodes():
+    ctl = PowerAwareController(440.0, 2, 2, THETA_NODE)
+    ctl.initial_allocation()
+    # everyone draws well below the 110 W caps
+    obs = Observation(
+        step=1,
+        sim=measurement([4.0, 4.0], [100.0, 101.0]),
+        ana=measurement([4.0, 4.0], [99.0, 100.0]),
+    )
+    assert ctl.observe(obs) is None
+
+
+def test_power_aware_shifts_headroom_to_capped_nodes():
+    ctl = PowerAwareController(440.0, 2, 2, THETA_NODE)
+    ctl.initial_allocation()
+    # analysis nodes pinned at their cap; sim nodes drawing 102 W
+    obs = Observation(
+        step=1,
+        sim=measurement([4.0, 4.0], [102.0, 102.0]),
+        ana=measurement([4.0, 4.0], [110.0, 110.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert alloc is not None
+    assert np.all(alloc.sim_caps_w < 110.0)  # donors reduced
+    assert np.all(alloc.ana_caps_w > 110.0)  # receivers boosted
+    assert alloc.total_w == pytest.approx(440.0)
+
+
+def test_power_aware_donor_floor_is_delta_min():
+    ctl = PowerAwareController(440.0, 2, 2, THETA_NODE)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([4.0, 4.0], [70.0, 70.0]),  # draw below δ_min
+        ana=measurement([4.0, 4.0], [110.0, 110.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert np.all(alloc.sim_caps_w >= THETA_NODE.rapl_min_watts)
+
+
+def test_power_aware_window():
+    ctl = PowerAwareController(440.0, 2, 2, THETA_NODE, window=2)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([4.0, 4.0], [102.0, 102.0]),
+        ana=measurement([4.0, 4.0], [110.0, 110.0]),
+    )
+    assert ctl.observe(obs) is None  # first of the window
+    assert ctl.observe(obs) is not None
+
+
+def test_power_aware_receivers_clamped_at_tdp():
+    ctl = PowerAwareController(2 * 215.0 + 2 * 98.0, 2, 2, THETA_NODE)
+    alloc0 = ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([4.0, 4.0], [98.0, 98.0]),
+        ana=measurement([4.0, 4.0], alloc0.ana_caps_w),
+    )
+    alloc = ctl.observe(obs)
+    assert np.all(alloc.ana_caps_w <= THETA_NODE.tdp_watts)
+
+
+# ------------------------------------------------------------- time-aware
+def test_time_aware_shifts_from_fast_to_slow():
+    ctl = TimeAwareController(440.0, 2, 2, THETA_NODE)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.0, 10.0], [108.0, 108.0]),
+        ana=measurement([5.0, 5.0], [108.0, 108.0]),  # analysis fast
+    )
+    alloc = ctl.observe(obs)
+    assert np.all(alloc.ana_caps_w < 110.0)
+    assert np.all(alloc.sim_caps_w > 110.0)
+    assert alloc.total_w == pytest.approx(440.0)
+
+
+def test_time_aware_step_decays():
+    ctl = TimeAwareController(440.0, 2, 2, THETA_NODE, step_w=8.0, step_decay=0.5)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.0, 10.0], [108.0, 108.0]),
+        ana=measurement([5.0, 5.0], [108.0, 108.0]),
+    )
+    a1 = ctl.observe(obs)
+    shift1 = 110.0 - a1.ana_caps_w[0]
+    a2 = ctl.observe(obs)
+    shift2 = a1.ana_caps_w[0] - a2.ana_caps_w[0]
+    assert shift2 == pytest.approx(shift1 * 0.5)
+
+
+def test_time_aware_step_floor():
+    ctl = TimeAwareController(
+        440.0, 2, 2, THETA_NODE, step_w=8.0, step_decay=0.1, step_min_w=1.0
+    )
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.0, 10.0], [108.0, 108.0]),
+        ana=measurement([5.0, 5.0], [108.0, 108.0]),
+    )
+    for _ in range(5):
+        ctl.observe(obs)
+    assert ctl._current_step == pytest.approx(1.0)
+
+
+def test_time_aware_within_margin_no_shift():
+    """Nodes within the reactivity margin of the max are left alone."""
+    ctl = TimeAwareController(440.0, 2, 2, THETA_NODE, reactivity=0.10)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.0, 10.0], [108.0, 108.0]),
+        ana=measurement([9.5, 9.5], [108.0, 108.0]),  # only 5% faster
+    )
+    alloc = ctl.observe(obs)
+    # no fast nodes below the 90% target -> caps unchanged
+    assert np.allclose(alloc.ana_caps_w, 110.0)
+    assert np.allclose(alloc.sim_caps_w, 110.0)
+
+
+def test_time_aware_respects_delta_min():
+    ctl = TimeAwareController(440.0, 2, 2, THETA_NODE, step_w=50.0)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.0, 10.0], [108.0, 108.0]),
+        ana=measurement([1.0, 1.0], [108.0, 108.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert np.all(alloc.ana_caps_w >= THETA_NODE.rapl_min_watts)
+
+
+def test_time_aware_acts_per_node_not_per_partition():
+    """One slow sim node attracts power while its partition peers donate."""
+    ctl = TimeAwareController(440.0, 2, 2, THETA_NODE)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.0, 5.0], [108.0, 108.0]),  # node 0 slow
+        ana=measurement([5.0, 5.0], [108.0, 108.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert alloc.sim_caps_w[0] > alloc.sim_caps_w[1]
+
+
+def test_time_aware_invalid_params():
+    with pytest.raises(ValueError):
+        TimeAwareController(440.0, 2, 2, THETA_NODE, step_w=-1.0)
+    with pytest.raises(ValueError):
+        TimeAwareController(440.0, 2, 2, THETA_NODE, reactivity=0.0)

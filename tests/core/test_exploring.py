@@ -1,0 +1,111 @@
+"""Tests for the exploring (local-optima) SeeSAw extension."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import Observation, PartitionMeasurement
+from repro.core.exploring import ExploringSeeSAwController
+
+
+def measurement(t, p, n=2):
+    return PartitionMeasurement(
+        work_time_s=t,
+        energy_j=t * p * n,
+        interval_s=t,
+        node_epoch_times_s=np.full(n, t),
+        node_power_w=np.full(n, p),
+    )
+
+
+BUDGET = 110.0 * 4
+
+
+def make(**kw):
+    defaults = dict(probe_w=3.0, explore_every=3, probe_rounds=1)
+    defaults.update(kw)
+    return ExploringSeeSAwController(BUDGET, 2, 2, THETA_NODE, **defaults)
+
+
+def balanced_obs(step, t=10.0, p=110.0):
+    return Observation(
+        step=step, sim=measurement(t, p), ana=measurement(t, p)
+    )
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        make(probe_w=0.0)
+    with pytest.raises(ValueError):
+        make(explore_every=1)
+    with pytest.raises(ValueError):
+        make(probe_rounds=0)
+
+
+def test_probe_fires_after_explore_every_rounds():
+    ctl = make(explore_every=3)
+    ctl.initial_allocation()
+    allocs = [ctl.observe(balanced_obs(i)) for i in range(1, 4)]
+    # the third decision is the probe: split moves by probe_w per node
+    probe = allocs[-1]
+    assert probe is not None
+    assert abs(probe.sim_caps_w[0] - 110.0) == pytest.approx(3.0)
+
+
+def test_worsening_probe_reverted_and_direction_flips():
+    ctl = make(explore_every=3, probe_rounds=1)
+    ctl.initial_allocation()
+    for i in range(1, 4):
+        ctl.observe(balanced_obs(i))
+    first_direction = ctl._probe_direction
+    # the probed interval is WORSE (12 > 10): must revert
+    reverted = ctl.observe(balanced_obs(4, t=12.0))
+    assert reverted is not None
+    assert reverted.sim_caps_w[0] == pytest.approx(110.0)
+    assert ctl._probe_direction == -first_direction
+    assert ctl.probe_log[-1][1] is False
+
+
+def test_improving_probe_kept():
+    ctl = make(explore_every=3, probe_rounds=1)
+    ctl.initial_allocation()
+    for i in range(1, 4):
+        ctl.observe(balanced_obs(i))
+    probed_total = (ctl._probe_state["totals"][0],)
+    # the probed interval is BETTER (8 < 10): keep
+    out = ctl.observe(balanced_obs(4, t=8.0))
+    assert out is None  # probe caps stay installed
+    assert ctl.probe_log[-1][1] is True
+    assert ctl._prev_total_sim == pytest.approx(probed_total[0])
+
+
+def test_probe_rounds_hold_allocation():
+    ctl = make(explore_every=3, probe_rounds=2)
+    ctl.initial_allocation()
+    for i in range(1, 4):
+        ctl.observe(balanced_obs(i))
+    assert ctl._probe_state is not None
+    assert ctl.observe(balanced_obs(4)) is None  # first held round
+    assert ctl._probe_state is not None
+    ctl.observe(balanced_obs(5))  # judged here
+    assert ctl._probe_state is None
+
+
+def test_budget_conserved_through_probes():
+    ctl = make(explore_every=2, probe_rounds=1)
+    ctl.initial_allocation()
+    for i in range(1, 12):
+        out = ctl.observe(balanced_obs(i, t=10.0 + 0.1 * (i % 3)))
+        if out is not None:
+            assert out.total_w == pytest.approx(BUDGET)
+
+
+def test_probe_respects_envelope():
+    """Probing cannot push a partition outside [δ_min, δ_max]."""
+    ctl = make(probe_w=500.0, explore_every=2, probe_rounds=1)
+    ctl.initial_allocation()
+    for i in range(1, 6):
+        out = ctl.observe(balanced_obs(i))
+        if out is not None:
+            assert np.all(out.sim_caps_w >= THETA_NODE.rapl_min_watts - 1e-9)
+            assert np.all(out.sim_caps_w <= THETA_NODE.tdp_watts + 1e-9)

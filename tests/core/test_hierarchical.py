@@ -1,0 +1,164 @@
+"""Tests for the hierarchical (two-level) SeeSAw extension."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import Observation, PartitionMeasurement
+from repro.core.hierarchical import HierarchicalSeeSAwController, waterfill
+
+
+def measurement(times, powers):
+    times = np.asarray(times, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    wt = float(times.max())
+    return PartitionMeasurement(
+        work_time_s=wt,
+        energy_j=float((times * powers).sum()),
+        interval_s=wt,
+        node_epoch_times_s=times,
+        node_power_w=powers,
+    )
+
+
+BUDGET = 110.0 * 4
+
+
+def make(**kw):
+    return HierarchicalSeeSAwController(BUDGET, 2, 2, THETA_NODE, **kw)
+
+
+# ---------------------------------------------------------------- waterfill
+def test_waterfill_proportional_when_unbounded():
+    out = waterfill(np.array([1.0, 3.0]), 200.0, 0.0, 1000.0)
+    assert np.allclose(out, [50.0, 150.0])
+
+
+def test_waterfill_respects_bounds():
+    out = waterfill(np.array([1.0, 9.0]), 220.0, 98.0, 215.0)
+    assert out.min() >= 98.0 - 1e-9
+    assert out.max() <= 215.0 + 1e-9
+    assert out.sum() == pytest.approx(220.0)
+
+
+def test_waterfill_redistributes_clamp_surplus():
+    # one huge target clamps at hi; the rest absorb the remainder
+    out = waterfill(np.array([100.0, 1.0, 1.0]), 330.0, 98.0, 215.0)
+    assert out[0] == pytest.approx(134.0)  # 330 - 2*98
+    assert np.allclose(out[1:], 98.0)
+
+
+def test_waterfill_infeasible_total_snapped():
+    out = waterfill(np.array([1.0, 1.0]), 10.0, 98.0, 215.0)
+    assert np.allclose(out, 98.0)
+
+
+def test_waterfill_empty_rejected():
+    with pytest.raises(ValueError):
+        waterfill(np.array([]), 100.0, 0.0, 1.0)
+
+
+# ------------------------------------------------------------- controller
+def test_homogeneous_reduces_to_flat_split():
+    ctl = make(node_ewma=1.0)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.0, 10.0], [110.0, 110.0]),
+        ana=measurement([10.0, 10.0], [110.0, 110.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert np.allclose(alloc.sim_caps_w, alloc.sim_caps_w[0])
+    assert np.allclose(alloc.ana_caps_w, alloc.ana_caps_w[0])
+    assert alloc.total_w == pytest.approx(BUDGET)
+
+
+def test_slow_node_receives_more_power():
+    ctl = make(node_ewma=1.0)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([14.0, 10.0], [110.0, 110.0]),  # node 0 slow
+        ana=measurement([12.0, 12.0], [110.0, 110.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert alloc.sim_caps_w[0] > alloc.sim_caps_w[1]
+
+
+def test_partition_totals_match_level_one():
+    """The per-node split must conserve each partition's level-1 total
+    (up to envelope feasibility)."""
+    ctl = make(node_ewma=1.0)
+    ctl.initial_allocation()
+    flat = HierarchicalSeeSAwController(BUDGET, 2, 2, THETA_NODE)
+    flat.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([13.0, 11.0], [112.0, 108.0]),
+        ana=measurement([9.0, 10.0], [108.0, 111.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert alloc.total_w == pytest.approx(BUDGET)
+
+
+def test_node_ewma_damps_share_moves():
+    reactive = make(node_ewma=1.0, deadband=0.0)
+    damped = make(node_ewma=0.2, deadband=0.0)
+    for ctl in (reactive, damped):
+        ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([14.0, 10.0], [110.0, 110.0]),
+        ana=measurement([12.0, 12.0], [110.0, 110.0]),
+    )
+    a_reactive = reactive.observe(obs)
+    a_damped = damped.observe(obs)
+    spread_reactive = a_reactive.sim_caps_w[0] - a_reactive.sim_caps_w[1]
+    spread_damped = a_damped.sim_caps_w[0] - a_damped.sim_caps_w[1]
+    assert 0 < spread_damped < spread_reactive
+
+
+def test_invalid_node_ewma():
+    with pytest.raises(ValueError):
+        make(node_ewma=0.0)
+    with pytest.raises(ValueError):
+        make(deadband=-0.1)
+
+
+def test_deadband_suppresses_noise_level_splits():
+    """Small (noise-scale) per-node differences snap back to uniform."""
+    ctl = make(node_ewma=1.0, deadband=0.05)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([10.2, 10.0], [110.0, 110.0]),  # 2% apart
+        ana=measurement([10.0, 10.0], [110.0, 110.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert np.allclose(alloc.sim_caps_w, alloc.sim_caps_w[0])
+
+
+def test_deadband_passes_genuine_heterogeneity():
+    ctl = make(node_ewma=1.0, deadband=0.05)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([13.0, 10.0], [110.0, 110.0]),  # 30% apart
+        ana=measurement([10.0, 10.0], [110.0, 110.0]),
+    )
+    alloc = ctl.observe(obs)
+    assert alloc.sim_caps_w[0] > alloc.sim_caps_w[1]
+
+
+def test_caps_stay_in_envelope_under_extreme_imbalance():
+    ctl = make(node_ewma=1.0)
+    ctl.initial_allocation()
+    obs = Observation(
+        step=1,
+        sim=measurement([100.0, 1.0], [110.0, 110.0]),
+        ana=measurement([1.0, 1.0], [110.0, 110.0]),
+    )
+    alloc = ctl.observe(obs)
+    for caps in (alloc.sim_caps_w, alloc.ana_caps_w):
+        assert np.all(caps >= THETA_NODE.rapl_min_watts - 1e-9)
+        assert np.all(caps <= THETA_NODE.tdp_watts + 1e-9)

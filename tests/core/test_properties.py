@@ -1,0 +1,133 @@
+"""Property-based tests: controller invariants under arbitrary inputs.
+
+Whatever measurements a controller is fed, its allocations must
+(1) stay within the hardware envelope per node, (2) conserve the global
+budget, and (3) remain finite. These invariants hold for every strategy
+and arbitrary (positive) measurement streams — exactly the kind of
+contract hypothesis is good at attacking.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import THETA_NODE
+from repro.core import (
+    Observation,
+    PartitionMeasurement,
+    PowerAwareController,
+    SeeSAwController,
+    StaticController,
+    TimeAwareController,
+)
+from repro.core.controller import clamp_partition_totals
+
+N_SIM = N_ANA = 3
+BUDGET = 110.0 * (N_SIM + N_ANA)
+
+
+def measurement(times, powers):
+    times = np.asarray(times, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    wt = float(times.max())
+    return PartitionMeasurement(
+        work_time_s=wt,
+        energy_j=float(powers.sum()) * wt,
+        interval_s=max(wt, 1e-6),
+        node_epoch_times_s=times,
+        node_power_w=powers,
+    )
+
+
+times_arrays = st.lists(
+    st.floats(1e-3, 1e4), min_size=N_SIM, max_size=N_SIM
+)
+power_arrays = st.lists(
+    st.floats(60.0, 220.0), min_size=N_SIM, max_size=N_SIM
+)
+
+observations = st.builds(
+    lambda ts, ps, ta, pa: Observation(
+        step=1,
+        sim=measurement(ts, ps),
+        ana=measurement(ta, pa),
+    ),
+    times_arrays,
+    power_arrays,
+    times_arrays,
+    power_arrays,
+)
+
+CONTROLLER_FACTORIES = [
+    lambda: StaticController(BUDGET, N_SIM, N_ANA, THETA_NODE),
+    lambda: SeeSAwController(BUDGET, N_SIM, N_ANA, THETA_NODE, window=1),
+    lambda: TimeAwareController(BUDGET, N_SIM, N_ANA, THETA_NODE),
+    lambda: PowerAwareController(BUDGET, N_SIM, N_ANA, THETA_NODE),
+]
+
+
+def check_allocation(alloc):
+    for caps in (alloc.sim_caps_w, alloc.ana_caps_w):
+        assert np.all(np.isfinite(caps))
+        assert np.all(caps >= THETA_NODE.rapl_min_watts - 1e-6)
+        assert np.all(caps <= THETA_NODE.tdp_watts + 1e-6)
+    assert alloc.total_w == pytest.approx(BUDGET, rel=1e-6)
+
+
+@pytest.mark.parametrize("factory", CONTROLLER_FACTORIES)
+@given(obs=observations)
+@settings(max_examples=40, deadline=None)
+def test_allocations_respect_envelope_and_budget(factory, obs):
+    ctl = factory()
+    check_allocation(ctl.initial_allocation())
+    out = ctl.observe(obs)
+    if out is not None:
+        check_allocation(out)
+
+
+@pytest.mark.parametrize("factory", CONTROLLER_FACTORIES)
+@given(obs_list=st.lists(observations, min_size=2, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_invariants_hold_over_sequences(factory, obs_list):
+    ctl = factory()
+    ctl.initial_allocation()
+    for i, obs in enumerate(obs_list):
+        out = ctl.observe(
+            Observation(step=i + 1, sim=obs.sim, ana=obs.ana)
+        )
+        if out is not None:
+            check_allocation(out)
+
+
+@given(
+    st.floats(1.0, 1e5),
+    st.floats(1.0, 1e5),
+    st.integers(1, 64),
+    st.integers(1, 64),
+)
+@settings(max_examples=100, deadline=None)
+def test_clamp_always_yields_feasible_totals(ts, ta, ns, na):
+    s, a = clamp_partition_totals(ts, ta, ns, na, THETA_NODE)
+    lo, hi = THETA_NODE.rapl_min_watts, THETA_NODE.tdp_watts
+    assert lo - 1e-9 <= s / ns <= hi + 1e-9
+    assert lo - 1e-9 <= a / na <= hi + 1e-9
+    # budget preserved whenever it was feasible to begin with
+    budget = ts + ta
+    if (ns + na) * lo <= budget <= (ns + na) * hi:
+        assert s + a == pytest.approx(budget)
+
+
+@given(
+    st.floats(0.1, 1e4),
+    st.floats(1.0, 1e4),
+    st.floats(0.1, 1e4),
+    st.floats(1.0, 1e4),
+)
+@settings(max_examples=100, deadline=None)
+def test_optimal_split_conserves_budget_and_is_positive(t_s, p_s, t_a, p_a):
+    from repro.core.seesaw import optimal_split
+
+    s, a = optimal_split(t_s, p_s, t_a, p_a, BUDGET)
+    assert s > 0 and a > 0
+    assert s + a == pytest.approx(BUDGET)

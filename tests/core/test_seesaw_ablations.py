@@ -1,0 +1,70 @@
+"""Tests for the SeeSAw ablation knobs (feedback metric, damping)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import Observation, PartitionMeasurement, SeeSAwController
+
+
+def measurement(t, p, n=1):
+    return PartitionMeasurement(
+        work_time_s=t,
+        energy_j=t * p * n,
+        interval_s=t,
+        node_epoch_times_s=np.full(n, t),
+        node_power_w=np.full(n, p),
+    )
+
+
+def obs(t_s, p_s, t_a, p_a):
+    return Observation(
+        step=1, sim=measurement(t_s, p_s), ana=measurement(t_a, p_a)
+    )
+
+
+def test_invalid_options_rejected():
+    with pytest.raises(ValueError):
+        SeeSAwController(220.0, 1, 1, THETA_NODE, feedback="bogus")
+    with pytest.raises(ValueError):
+        SeeSAwController(220.0, 1, 1, THETA_NODE, damping="bogus")
+
+
+def test_time_only_feedback_ignores_power():
+    """With equal times but unequal powers, the time-only ablation
+    keeps the split even while the energy metric shifts it."""
+    energy = SeeSAwController(220.0, 1, 1, THETA_NODE, damping="none")
+    energy.initial_allocation()
+    time_only = SeeSAwController(
+        220.0, 1, 1, THETA_NODE, feedback="time", damping="none"
+    )
+    time_only.initial_allocation()
+    o = obs(10.0, 120.0, 10.0, 100.0)
+    a_energy = energy.observe(o)
+    a_time = time_only.observe(o)
+    assert a_time.sim_caps_w[0] == pytest.approx(110.0)
+    assert a_energy.sim_caps_w[0] != pytest.approx(110.0)
+
+
+def test_no_damping_jumps_to_optimum():
+    raw = SeeSAwController(220.0, 1, 1, THETA_NODE, damping="none")
+    raw.initial_allocation()
+    damped = SeeSAwController(220.0, 1, 1, THETA_NODE)
+    damped.initial_allocation()
+    # mild asymmetry so the optimum stays inside [δ_min, δ_max] and
+    # clamping does not mask the damping behaviour
+    o = obs(12.0, 110.0, 10.0, 110.0)
+    a_raw = raw.observe(o)
+    a_damped = damped.observe(o)
+    from repro.core.seesaw import optimal_split
+
+    p_opt, _ = optimal_split(12.0, 110.0, 10.0, 110.0, 220.0)
+    assert a_raw.sim_caps_w[0] == pytest.approx(p_opt)
+    # the damped step lands strictly between previous and optimal
+    assert 110.0 < a_damped.sim_caps_w[0] < p_opt
+
+
+def test_defaults_are_paper_settings():
+    ctl = SeeSAwController(220.0, 1, 1, THETA_NODE)
+    assert ctl.feedback == "energy"
+    assert ctl.damping == "ewma"

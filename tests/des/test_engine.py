@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.des import Engine, SimulationError
+
+
+def test_time_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(2.0, lambda: fired.append(("b", eng.now)))
+    eng.schedule(1.0, lambda: fired.append(("a", eng.now)))
+    eng.schedule(3.0, lambda: fired.append(("c", eng.now)))
+    eng.run()
+    assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    eng = Engine()
+    fired = []
+    for label in "abcde":
+        eng.schedule(1.0, lambda l=label: fired.append(l))
+    eng.run()
+    assert fired == list("abcde")
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(5.0, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [5.0]
+
+
+def test_schedule_at_in_past_rejected():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.now == 1.0
+    with pytest.raises(ValueError):
+        eng.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    fired = []
+    handle = eng.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    eng.run()
+    assert fired == []
+    assert eng.now == 0.0  # cancelled events do not advance time
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    handle = eng.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    eng.run()
+
+
+def test_callbacks_can_schedule_more_events():
+    eng = Engine()
+    trace = []
+
+    def first():
+        trace.append(("first", eng.now))
+        eng.schedule(0.5, lambda: trace.append(("second", eng.now)))
+
+    eng.schedule(1.0, first)
+    eng.run()
+    assert trace == [("first", 1.0), ("second", 1.5)]
+
+
+def test_run_until_advances_clock_even_without_events():
+    eng = Engine()
+    eng.run_until(10.0)
+    assert eng.now == 10.0
+
+
+def test_run_until_executes_only_events_before_deadline():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append(1.0))
+    eng.schedule(5.0, lambda: fired.append(5.0))
+    eng.run_until(2.0)
+    assert fired == [1.0]
+    assert eng.now == 2.0
+    eng.run()
+    assert fired == [1.0, 5.0]
+
+
+def test_run_until_backwards_rejected():
+    eng = Engine()
+    eng.run_until(3.0)
+    with pytest.raises(ValueError):
+        eng.run_until(1.0)
+
+
+def test_peek_skips_cancelled():
+    eng = Engine()
+    h = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    h.cancel()
+    assert eng.peek() == 2.0
+
+
+def test_peek_empty_returns_none():
+    eng = Engine()
+    assert eng.peek() is None
+
+
+def test_pending_counts_live_events():
+    eng = Engine()
+    h1 = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.pending == 2
+    h1.cancel()
+    assert eng.pending == 1
+
+
+def test_events_executed_counter():
+    eng = Engine()
+    for _ in range(7):
+        eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.events_executed == 7
+
+
+def test_max_events_limits_run():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.schedule(float(i + 1), lambda i=i: fired.append(i))
+    eng.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_engine_not_reentrant():
+    eng = Engine()
+    errors = []
+
+    def nested():
+        try:
+            eng.run()
+        except SimulationError as e:
+            errors.append(e)
+
+    eng.schedule(1.0, nested)
+    eng.run()
+    assert len(errors) == 1
+
+
+def test_step_returns_false_when_empty():
+    eng = Engine()
+    assert eng.step() is False

@@ -1,0 +1,90 @@
+"""Stress and ordering guarantees of the DES engine under heavy load."""
+
+import numpy as np
+
+from repro.des import Delay, Engine, Process, SimEvent
+from repro.util.rng import RngStream
+
+
+def test_large_heap_orders_random_times():
+    eng = Engine()
+    rng = RngStream(3)
+    times = rng.uniform(0.0, 100.0, size=5000)
+    fired = []
+    for t in times:
+        eng.schedule(float(t), lambda t=t: fired.append(t))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == 5000
+
+
+def test_mass_cancellation_is_clean():
+    eng = Engine()
+    fired = []
+    handles = [
+        eng.schedule(float(i), lambda i=i: fired.append(i))
+        for i in range(2000)
+    ]
+    for h in handles[::2]:
+        h.cancel()
+    eng.run()
+    assert fired == list(range(1, 2000, 2))
+
+
+def test_many_processes_rendezvous():
+    """1000 processes with staggered delays all wake on one event and
+    the event's value reaches every one of them."""
+    eng = Engine()
+    gate = SimEvent(eng, name="gate")
+    results = []
+
+    def body(i):
+        yield Delay(i * 0.001)
+        value = yield gate
+        results.append((i, value))
+
+    for i in range(1000):
+        Process(eng, body(i))
+    eng.schedule(10.0, lambda: gate.succeed("go"))
+    eng.run()
+    assert len(results) == 1000
+    assert all(v == "go" for _, v in results)
+
+
+def test_cascading_process_chains():
+    """A chain of processes each waiting on the previous one's result
+    accumulates correctly (deep dependency chains must not recurse)."""
+    eng = Engine()
+
+    def first():
+        yield Delay(1.0)
+        return 1
+
+    prev = Process(eng, first())
+
+    def link(p):
+        def body():
+            value = yield p
+            yield Delay(0.001)
+            return value + 1
+
+        return body
+
+    for _ in range(500):
+        prev = Process(eng, link(prev)())
+    eng.run()
+    assert prev.result == 501
+
+
+def test_event_counter_matches_work():
+    eng = Engine()
+
+    def body():
+        for _ in range(100):
+            yield Delay(0.01)
+
+    procs = [Process(eng, body()) for _ in range(10)]
+    eng.run()
+    # 10 starts + 10*100 delays
+    assert eng.events_executed == 10 + 1000
+    assert all(not p.alive for p in procs)

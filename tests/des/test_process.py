@@ -1,0 +1,204 @@
+"""Unit tests for generator-based processes and events."""
+
+import pytest
+
+from repro.des import Delay, Engine, Process, SimEvent, SimulationError
+
+
+def test_delay_advances_virtual_time():
+    eng = Engine()
+    times = []
+
+    def body():
+        times.append(eng.now)
+        yield Delay(1.5)
+        times.append(eng.now)
+        yield Delay(0.5)
+        times.append(eng.now)
+
+    Process(eng, body(), name="p")
+    eng.run()
+    assert times == [0.0, 1.5, 2.0]
+
+
+def test_zero_delay_allowed():
+    eng = Engine()
+    done = []
+
+    def body():
+        yield Delay(0.0)
+        done.append(eng.now)
+
+    Process(eng, body())
+    eng.run()
+    assert done == [0.0]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1.0)
+
+
+def test_process_result_available_after_completion():
+    eng = Engine()
+
+    def body():
+        yield Delay(1.0)
+        return 42
+
+    p = Process(eng, body())
+    eng.run()
+    assert not p.alive
+    assert p.result == 42
+
+
+def test_result_before_completion_raises():
+    eng = Engine()
+
+    def body():
+        yield Delay(1.0)
+
+    p = Process(eng, body())
+    with pytest.raises(SimulationError):
+        _ = p.result
+
+
+def test_wait_on_event_receives_value():
+    eng = Engine()
+    ev = SimEvent(eng, name="signal")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((eng.now, value))
+
+    Process(eng, waiter())
+    eng.schedule(3.0, lambda: ev.succeed("payload"))
+    eng.run()
+    assert got == [(3.0, "payload")]
+
+
+def test_wait_on_already_triggered_event():
+    eng = Engine()
+    ev = SimEvent(eng)
+    ev.succeed(7)
+
+    def waiter():
+        value = yield ev
+        return value
+
+    p = Process(eng, waiter())
+    eng.run()
+    assert p.result == 7
+
+
+def test_event_wakes_all_waiters():
+    eng = Engine()
+    ev = SimEvent(eng)
+    woken = []
+
+    def waiter(i):
+        value = yield ev
+        woken.append((i, value))
+
+    for i in range(3):
+        Process(eng, waiter(i))
+    eng.schedule(1.0, lambda: ev.succeed("go"))
+    eng.run()
+    assert sorted(woken) == [(0, "go"), (1, "go"), (2, "go")]
+
+
+def test_event_cannot_succeed_twice():
+    eng = Engine()
+    ev = SimEvent(eng)
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_value_before_trigger_raises():
+    eng = Engine()
+    ev = SimEvent(eng)
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_process_waits_on_another_process():
+    eng = Engine()
+
+    def child():
+        yield Delay(2.0)
+        return "child-result"
+
+    def parent(child_proc):
+        result = yield child_proc
+        return (eng.now, result)
+
+    c = Process(eng, child())
+    p = Process(eng, parent(c))
+    eng.run()
+    assert p.result == (2.0, "child-result")
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    eng = Engine()
+
+    def child():
+        yield Delay(1.0)
+        return "done"
+
+    c = Process(eng, child())
+    eng.run()
+
+    def parent():
+        result = yield c
+        return result
+
+    p = Process(eng, parent())
+    eng.run()
+    assert p.result == "done"
+
+
+def test_yielding_garbage_raises():
+    eng = Engine()
+
+    def body():
+        yield object()
+
+    Process(eng, body())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_processes_start_at_same_time_regardless_of_order():
+    eng = Engine()
+    starts = []
+
+    def body(i):
+        starts.append((i, eng.now))
+        yield Delay(0.1)
+
+    eng.run_until(5.0)
+    Process(eng, body(0))
+    Process(eng, body(1))
+    eng.run()
+    assert starts == [(0, 5.0), (1, 5.0)]
+
+
+def test_done_event_fires_on_completion():
+    eng = Engine()
+
+    def body():
+        yield Delay(1.0)
+        return "x"
+
+    p = Process(eng, body())
+    seen = []
+
+    def watcher():
+        v = yield p.done_event
+        seen.append(v)
+
+    Process(eng, watcher())
+    eng.run()
+    assert seen == ["x"]

@@ -1,0 +1,36 @@
+"""Tests for the report renderer."""
+
+from repro.experiments.report import format_table, heading
+
+
+def test_heading_underlined():
+    out = heading("Title")
+    lines = out.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+
+
+def test_table_alignment():
+    out = format_table(["name", "value"], [("a", 1.5), ("bbbb", 22.25)])
+    lines = out.splitlines()
+    assert len({len(l) for l in lines}) == 1  # all rows equal width
+    assert "1.50" in lines[2]
+    assert "22.25" in lines[3]
+
+
+def test_table_custom_float_format():
+    out = format_table(["v"], [(1.23456,)], float_fmt="{:+.1f}")
+    assert "+1.2" in out
+
+
+def test_table_mixed_types():
+    out = format_table(["a", "b"], [("x", 128), (3.5, "y")])
+    assert "128" in out
+    assert "3.50" in out
+
+
+def test_empty_table_renders_headers():
+    out = format_table(["col1", "col2"], [])
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert "col1" in lines[0]

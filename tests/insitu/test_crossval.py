@@ -1,0 +1,107 @@
+"""Cross-validation: the per-rank (real MD) path and the vectorized
+proxy path must tell the same physical story.
+
+The two paths share the phase power model, RAPL emulation and
+controller code but derive work differently (measured operation counts
+vs calibrated profiles), so we check *relationships*, not numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import SeeSAwController, StaticController
+from repro.insitu import InsituConfig, run_insitu
+
+
+def static_ctl(cfg):
+    return StaticController(
+        cfg.world_size * cfg.power_cap_w,
+        cfg.n_sim_ranks,
+        cfg.n_ana_ranks,
+        THETA_NODE,
+    )
+
+
+def seesaw_ctl(cfg):
+    return SeeSAwController(
+        cfg.world_size * cfg.power_cap_w,
+        cfg.n_sim_ranks,
+        cfg.n_ana_ranks,
+        THETA_NODE,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = InsituConfig(
+        n_sim_ranks=2, n_ana_ranks=2, dim=1, n_verlet_steps=10, seed=3
+    )
+    return (
+        cfg,
+        run_insitu(cfg, static_ctl(cfg)),
+        run_insitu(cfg, seesaw_ctl(cfg)),
+    )
+
+
+def test_seesaw_reduces_slack_like_the_proxy(runs):
+    """SeeSAw ends with smaller sim/ana work-time gaps than static —
+    the same convergence the proxy shows in Fig. 4a."""
+    _, static, seesaw = runs
+
+    def tail_slack(res):
+        tail = res.observation_log[len(res.observation_log) // 2 :]
+        return np.mean(
+            [
+                abs(o.sim.work_time_s - o.ana.work_time_s)
+                / max(o.sim.work_time_s, o.ana.work_time_s)
+                for o in tail
+            ]
+        )
+
+    assert tail_slack(seesaw) <= tail_slack(static) + 0.05
+
+
+def test_seesaw_moves_power_toward_the_slower_partition(runs):
+    """The direction of the final allocation matches the sign of the
+    static run's imbalance (direction-consistency with the proxy)."""
+    _, static, seesaw = runs
+    tail = static.observation_log[len(static.observation_log) // 2 :]
+    sim_slower = np.mean(
+        [o.sim.work_time_s - o.ana.work_time_s for o in tail]
+    ) > 0
+    _, alloc = seesaw.allocation_log[-1]
+    sim_more_power = alloc.sim_caps_w.mean() > alloc.ana_caps_w.mean()
+    assert sim_more_power == sim_slower
+
+
+def test_science_unaffected_by_power_management(runs):
+    """Power management changes time/power, never the physics: both
+    runs produce identical analysis results (same trajectory seeds)."""
+    _, static, seesaw = runs
+    r_s, g_s = static.analysis_results["rdf"]
+    r_m, g_m = seesaw.analysis_results["rdf"]
+    assert np.allclose(g_s, g_m)
+    t_s, msd_s = static.analysis_results["msd"]
+    t_m, msd_m = seesaw.analysis_results["msd"]
+    assert np.allclose(msd_s, msd_m)
+
+
+def test_power_envelope_respected_on_per_rank_path(runs):
+    _, _, seesaw = runs
+    for _, alloc in seesaw.allocation_log:
+        assert np.all(alloc.sim_caps_w >= THETA_NODE.rapl_min_watts - 1e-9)
+        assert np.all(alloc.ana_caps_w <= THETA_NODE.tdp_watts + 1e-9)
+        assert alloc.total_w == pytest.approx(
+            4 * 110.0, rel=1e-6
+        )
+
+
+def test_interval_energy_consistency(runs):
+    """Measured power per node stays inside the physical envelope on
+    the per-rank path, as it does on the proxy path."""
+    _, static, _ = runs
+    for obs in static.observation_log[1:]:
+        for m in (obs.sim, obs.ana):
+            for p in m.node_power_w:
+                assert 60.0 <= p <= 220.0

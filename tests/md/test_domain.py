@@ -1,0 +1,70 @@
+"""Tests for spatial domain decomposition and snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.md.domain import DomainDecomposition, grid_for_ranks
+from repro.md.system import water_ion_box
+
+
+def test_grid_for_ranks_products():
+    for n in (1, 2, 4, 6, 8, 12, 64):
+        g = grid_for_ranks(n)
+        assert g[0] * g[1] * g[2] == n
+
+
+def test_grid_prefers_cubic():
+    assert sorted(grid_for_ranks(8)) == [2, 2, 2]
+    assert sorted(grid_for_ranks(64)) == [4, 4, 4]
+
+
+def test_grid_invalid():
+    with pytest.raises(ValueError):
+        grid_for_ranks(0)
+
+
+def test_every_atom_assigned_exactly_once():
+    sys_ = water_ion_box(dim=1)
+    dd = DomainDecomposition(sys_, 8)
+    ranks = dd.rank_of_atoms()
+    assert ranks.min() >= 0
+    assert ranks.max() < 8
+    assert dd.counts().sum() == sys_.n_atoms
+
+
+def test_load_roughly_balanced():
+    sys_ = water_ion_box(dim=1)
+    dd = DomainDecomposition(sys_, 8)
+    counts = dd.counts()
+    expected = sys_.n_atoms / 8
+    assert np.all(counts > expected * 0.5)
+    assert np.all(counts < expected * 1.5)
+
+
+def test_snapshot_contents():
+    sys_ = water_ion_box(dim=1)
+    dd = DomainDecomposition(sys_, 4)
+    snap = dd.snapshot(rank=2, step=7)
+    assert snap.step == 7
+    assert snap.n_atoms == dd.counts()[2]
+    assert snap.positions.shape == (snap.n_atoms, 3)
+    assert snap.nbytes() > 0
+    # atom ids really belong to rank 2
+    assert np.all(dd.rank_of_atoms()[snap.atom_ids] == 2)
+
+
+def test_snapshot_rank_out_of_range():
+    sys_ = water_ion_box(dim=1)
+    dd = DomainDecomposition(sys_, 4)
+    with pytest.raises(ValueError):
+        dd.snapshot(rank=4, step=0)
+
+
+def test_union_of_snapshots_covers_system():
+    sys_ = water_ion_box(dim=1)
+    dd = DomainDecomposition(sys_, 4)
+    ids = np.concatenate(
+        [dd.snapshot(r, 0).atom_ids for r in range(4)]
+    )
+    assert len(ids) == sys_.n_atoms
+    assert len(np.unique(ids)) == sys_.n_atoms

@@ -1,0 +1,108 @@
+"""Tests for neighbor lists: correctness vs brute force + rebuild rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.box import Box
+from repro.md.neighbor import (
+    NeighborList,
+    _pairs_bruteforce,
+    _pairs_within,
+    build_neighbor_list,
+)
+from repro.util.rng import RngStream
+
+
+def random_points(n, edge, seed=0):
+    return RngStream(seed).uniform(0.0, edge, size=(n, 3))
+
+
+def canon(pairs):
+    return {tuple(p) for p in pairs.tolist()}
+
+
+def test_matches_bruteforce_on_random_points():
+    box = Box.cubic(10.0)
+    pts = random_points(120, 10.0, seed=1)
+    fast = _pairs_within(pts, box, 2.0)
+    ref = _pairs_bruteforce(pts, box, 2.0)
+    assert canon(fast) == canon(ref)
+
+
+def test_periodic_pairs_across_boundary():
+    box = Box.cubic(10.0)
+    pts = np.array([[0.2, 5.0, 5.0], [9.9, 5.0, 5.0]])
+    pairs = _pairs_within(pts, box, 1.0)
+    assert canon(pairs) == {(0, 1)}
+
+
+def test_small_box_falls_back_to_bruteforce():
+    box = Box.cubic(3.0)
+    pts = random_points(40, 3.0, seed=2)
+    fast = _pairs_within(pts, box, 2.0)  # cutoff > L/2 -> fallback
+    ref = _pairs_bruteforce(pts, box, 2.0)
+    assert canon(fast) == canon(ref)
+
+
+def test_no_self_pairs_and_ordered():
+    box = Box.cubic(10.0)
+    pts = random_points(100, 10.0, seed=3)
+    pairs = _pairs_within(pts, box, 2.5)
+    assert np.all(pairs[:, 0] < pairs[:, 1])
+
+
+def test_single_atom_no_pairs():
+    box = Box.cubic(10.0)
+    pairs = _pairs_within(np.array([[1.0, 1.0, 1.0]]), box, 2.0)
+    assert pairs.shape == (0, 2)
+
+
+def test_build_includes_skin():
+    box = Box.cubic(10.0)
+    pts = np.array([[0.0, 0.0, 0.0], [2.2, 0.0, 0.0]])
+    nl = build_neighbor_list(pts, box, cutoff=2.0, skin=0.3)
+    assert nl.n_pairs == 1  # 2.2 <= 2.0 + 0.3
+
+
+def test_rebuild_criterion_half_skin():
+    box = Box.cubic(10.0)
+    pts = random_points(20, 10.0, seed=4)
+    nl = build_neighbor_list(pts, box, cutoff=2.0, skin=0.4)
+    moved = pts.copy()
+    moved[0, 0] += 0.19
+    assert not nl.needs_rebuild(moved, box)
+    moved[0, 0] += 0.05  # total displacement 0.24 > 0.2
+    assert nl.needs_rebuild(moved, box)
+
+
+def test_rebuild_periodic_displacement():
+    """Displacement across the boundary is measured minimum-image."""
+    box = Box.cubic(10.0)
+    pts = np.array([[0.05, 5.0, 5.0]])
+    nl = build_neighbor_list(pts, box, cutoff=2.0, skin=0.4)
+    crossed = np.array([[9.95, 5.0, 5.0]])  # moved -0.1, not +9.9
+    assert not nl.needs_rebuild(crossed, box)
+
+
+def test_invalid_build_args():
+    box = Box.cubic(10.0)
+    with pytest.raises(ValueError):
+        build_neighbor_list(np.zeros((2, 3)), box, cutoff=0.0)
+    with pytest.raises(ValueError):
+        build_neighbor_list(np.zeros((2, 3)), box, cutoff=1.0, skin=-0.1)
+
+
+@given(
+    st.integers(2, 60),
+    st.floats(0.5, 3.0),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_tree_equals_bruteforce(n, cutoff, seed):
+    box = Box.cubic(8.0)
+    pts = random_points(n, 8.0, seed=seed)
+    assert canon(_pairs_within(pts, box, cutoff)) == canon(
+        _pairs_bruteforce(pts, box, cutoff)
+    )

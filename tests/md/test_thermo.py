@@ -1,0 +1,68 @@
+"""Direct tests for the thermo module."""
+
+import pytest
+
+from repro.md import ThermoLog, compute_thermo, water_ion_box
+from repro.md.thermo import HEADER, ThermoRecord
+from repro.md.verlet import VelocityVerlet
+
+
+def make_record(step=1, total=10.0):
+    return ThermoRecord(
+        step=step,
+        temperature=1.0,
+        kinetic_energy=total / 2,
+        potential_energy=total / 2,
+        total_energy=total,
+        density=0.68,
+    )
+
+
+def test_row_formatting_aligns_with_header():
+    row = make_record().as_row()
+    assert len(row.split()) == len(HEADER.split())
+
+
+def test_render_includes_header_and_rows():
+    log = ThermoLog()
+    log.append(make_record(step=1))
+    log.append(make_record(step=2))
+    out = log.render()
+    lines = out.splitlines()
+    assert lines[0] == HEADER
+    assert len(lines) == 3
+
+
+def test_energy_drift_zero_for_constant():
+    log = ThermoLog()
+    for s in range(5):
+        log.append(make_record(step=s, total=42.0))
+    assert log.energy_drift() == 0.0
+
+
+def test_energy_drift_relative():
+    log = ThermoLog()
+    log.append(make_record(step=1, total=100.0))
+    log.append(make_record(step=2, total=101.0))
+    assert log.energy_drift() == pytest.approx(0.01)
+
+
+def test_energy_drift_short_log():
+    log = ThermoLog()
+    assert log.energy_drift() == 0.0
+    log.append(make_record())
+    assert log.energy_drift() == 0.0
+
+
+def test_compute_thermo_from_live_system():
+    system = water_ion_box(dim=1, seed=2)
+    vv = VelocityVerlet(system, dt=0.0005)
+    report = vv.step()
+    record = compute_thermo(system, report)
+    assert record.step == 1
+    assert record.density == pytest.approx(
+        system.n_atoms / system.box.volume
+    )
+    assert record.total_energy == pytest.approx(
+        record.kinetic_energy + record.potential_energy
+    )

@@ -1,0 +1,107 @@
+"""Tests for the velocity-Verlet integrator."""
+
+import numpy as np
+import pytest
+
+from repro.md.box import Box
+from repro.md.forces import ForceField
+from repro.md.system import ParticleSystem, Species, water_ion_box
+from repro.md.thermo import ThermoLog, compute_thermo
+from repro.md.verlet import VelocityVerlet
+
+
+@pytest.fixture(scope="module")
+def equilibrated():
+    sys_ = water_ion_box(dim=1, seed=11)
+    vv = VelocityVerlet(sys_, dt=0.0005, thermostat_t=1.0)
+    vv.run(40)
+    return sys_, vv
+
+
+def test_energy_conservation_nve(equilibrated):
+    sys_, vv = equilibrated
+    vv.thermostat_t = None
+    log = ThermoLog()
+    for r in vv.run(40):
+        log.append(compute_thermo(sys_, r))
+    assert log.energy_drift() < 5e-3
+
+
+def test_momentum_conserved(equilibrated):
+    sys_, vv = equilibrated
+    p0 = (sys_.masses[:, None] * sys_.velocities).sum(axis=0)
+    vv.thermostat_t = None
+    vv.run(20)
+    p1 = (sys_.masses[:, None] * sys_.velocities).sum(axis=0)
+    assert np.allclose(p0, p1, atol=1e-6)
+
+
+def test_thermostat_pulls_temperature():
+    sys_ = water_ion_box(dim=1, seed=12, temperature=2.0)
+    vv = VelocityVerlet(sys_, dt=0.0005, thermostat_t=1.0, thermostat_tau=0.05)
+    vv.run(60)
+    assert sys_.temperature() == pytest.approx(1.0, rel=0.25)
+
+
+def test_step_reports_monotone_steps():
+    sys_ = water_ion_box(dim=1, seed=13)
+    vv = VelocityVerlet(sys_, dt=0.0005)
+    reports = vv.run(5)
+    assert [r.step for r in reports] == [1, 2, 3, 4, 5]
+
+
+def test_neighbor_rebuild_happens_under_motion():
+    sys_ = water_ion_box(dim=1, seed=14, temperature=2.0)
+    vv = VelocityVerlet(sys_, dt=0.001, skin=0.2)
+    vv.run(50)
+    assert vv.rebuild_count > 0
+
+
+def test_invalid_dt():
+    sys_ = water_ion_box(dim=1)
+    with pytest.raises(ValueError):
+        VelocityVerlet(sys_, dt=0.0)
+
+
+def test_images_updated_on_crossing():
+    # single fast atom crossing the boundary
+    sys_ = ParticleSystem(
+        box=Box.cubic(5.0),
+        positions=np.array([[4.95, 2.5, 2.5]]),
+        velocities=np.array([[100.0, 0.0, 0.0]]),
+        types=np.array([Species.CAT]),
+        molecule_ids=np.array([0]),
+        bonds=np.zeros((0, 2), dtype=np.int64),
+    )
+    vv = VelocityVerlet(sys_, dt=0.01)
+    vv.step()
+    assert sys_.images[0, 0] == 1
+    assert 0 <= sys_.positions[0, 0] < 5.0
+
+
+def test_harmonic_oscillator_period():
+    """Two bonded atoms oscillate at the analytic frequency."""
+    ff = ForceField(coulomb_strength=0.0, bond_k=100.0, bond_r0=1.0)
+    sys_ = ParticleSystem(
+        box=Box.cubic(50.0),
+        positions=np.array([[25.0, 25.0, 25.0], [26.2, 25.0, 25.0]]),
+        velocities=np.zeros((2, 3)),
+        types=np.array([Species.O, Species.O]),  # equal masses = 1
+        molecule_ids=np.array([0, 0]),
+        bonds=np.array([[0, 1]]),
+    )
+    dt = 0.001
+    vv = VelocityVerlet(sys_, force_field=ff, dt=dt)
+    # reduced mass mu = 0.5, omega = sqrt(k/mu) = sqrt(200)
+    omega = np.sqrt(100.0 / 0.5)
+    period = 2 * np.pi / omega
+    separations = []
+    for _ in range(int(period / dt) + 1):
+        vv.step()
+        separations.append(
+            float(np.linalg.norm(sys_.positions[1] - sys_.positions[0]))
+        )
+    # after one full period, the bond is stretched again (~1.2)
+    assert separations[-1] == pytest.approx(1.2, abs=0.02)
+    # and the minimum separation reached ~0.8 (symmetric compression)
+    assert min(separations) == pytest.approx(0.8, abs=0.02)

@@ -1,0 +1,150 @@
+"""Tests for the extended MPI surface: nonblocking ops, scatter,
+sendrecv, dup."""
+
+import pytest
+
+from repro.des import Delay, Engine, SimulationError
+from repro.mpi import MpiWorld, Request, ZeroCost
+
+
+def run_world(size, main, cost=None):
+    eng = Engine()
+    world = MpiWorld(eng, size, cost=cost)
+    return eng, world.run(main)
+
+
+# ------------------------------------------------------------- isend/irecv
+def test_isend_irecv_roundtrip():
+    def main(rank, comm):
+        if rank == 0:
+            req = comm.isend(0, dest=1, payload="hello", tag=3)
+            yield req.wait()
+            return None
+        req = comm.irecv(1, source=0, tag=3)
+        got = yield req.wait()
+        return got
+
+    _, results = run_world(2, main)
+    assert results[1] == "hello"
+
+
+def test_yield_request_directly():
+    def main(rank, comm):
+        if rank == 0:
+            yield comm.isend(0, dest=1, payload=42)
+            return None
+        got = yield comm.irecv(1)
+        return got
+
+    _, results = run_world(2, main)
+    assert results[1] == 42
+
+
+def test_unwaited_isend_still_delivers():
+    """Eager semantics: the message lands even if the sender never
+    waits on its request."""
+
+    def main(rank, comm):
+        if rank == 0:
+            comm.isend(0, dest=1, payload="fire-and-forget")
+            yield Delay(0.0)
+            return None
+        got = yield comm.recv(1)
+        return got
+
+    _, results = run_world(2, main)
+    assert results[1] == "fire-and-forget"
+
+
+def test_request_complete_flag():
+    class SlowWire(ZeroCost):
+        def p2p_time(self, nbytes):
+            return 1.0
+
+    def main(rank, comm):
+        if rank == 0:
+            req = comm.isend(0, dest=1, payload="x")
+            before = req.complete
+            yield req.wait()
+            return (before, req.complete)
+        got = yield comm.recv(1)
+        return got
+
+    _, results = run_world(2, main, cost=SlowWire())
+    assert results[0] == (False, True)
+
+
+# ------------------------------------------------------------- sendrecv
+def test_sendrecv_ring_exchange():
+    """A classic ring shift that would deadlock with blocking sends."""
+
+    def main(rank, comm):
+        right = (rank + 1) % 3
+        left = (rank - 1) % 3
+        got = yield comm.sendrecv(
+            rank, dest=right, payload=rank, source=left
+        )
+        return got
+
+    _, results = run_world(3, main)
+    assert results == [2, 0, 1]
+
+
+def test_sendrecv_pairwise_swap():
+    def main(rank, comm):
+        other = 1 - rank
+        got = yield comm.sendrecv(
+            rank, dest=other, payload=f"from{rank}", source=other
+        )
+        return got
+
+    _, results = run_world(2, main)
+    assert results == ["from1", "from0"]
+
+
+# ------------------------------------------------------------- scatter
+def test_scatter_distributes_root_values():
+    def main(rank, comm):
+        values = [10, 20, 30] if rank == 1 else None
+        got = yield comm.scatter(rank, values, root=1)
+        return got
+
+    _, results = run_world(3, main)
+    assert results == [10, 20, 30]
+
+
+def test_scatter_wrong_length_raises():
+    def main(rank, comm):
+        values = [1, 2] if rank == 0 else None
+        yield comm.scatter(rank, values, root=0)
+
+    with pytest.raises(SimulationError):
+        run_world(3, main)
+
+
+# ------------------------------------------------------------- dup
+def test_dup_isolates_collectives():
+    """Messages on the dup'd communicator don't match the original."""
+
+    def main(rank, comm):
+        dup = yield comm.dup(rank)
+        assert dup.size == comm.size
+        if rank == 0:
+            yield dup.send(0, dest=1, payload="on-dup", tag=7)
+            yield comm.send(0, dest=1, payload="on-world", tag=7)
+            return None
+        got_world = yield comm.recv(1, source=0, tag=7)
+        got_dup = yield dup.recv(1, source=0, tag=7)
+        return (got_world, got_dup)
+
+    _, results = run_world(2, main)
+    assert results[1] == ("on-world", "on-dup")
+
+
+def test_dup_preserves_rank_order():
+    def main(rank, comm):
+        dup = yield comm.dup(rank)
+        return dup.translate_world_rank(rank)
+
+    _, results = run_world(4, main)
+    assert results == [0, 1, 2, 3]

@@ -1,0 +1,66 @@
+"""Tests for the rank-bound communicator view."""
+
+import pytest
+
+from repro.des import Engine, SimulationError
+from repro.mpi import MpiWorld
+
+
+def run_world(size, main):
+    eng = Engine()
+    world = MpiWorld(eng, size)
+    return world.run(main)
+
+
+def test_bound_collectives_and_p2p():
+    def main(rank, comm):
+        me = comm.bind(rank)
+        yield me.barrier()
+        total = yield me.allreduce(rank + 1)
+        if rank == 0:
+            yield me.send(dest=1, payload="hi", tag=2)
+            got = None
+        else:
+            got = yield me.recv(source=0, tag=2)
+        gathered = yield me.gather(rank, root=0)
+        return (total, got, gathered)
+
+    results = run_world(2, main)
+    assert results[0] == (3, None, [0, 1])
+    assert results[1] == (3, "hi", None)
+
+
+def test_bound_split_returns_plain_communicator():
+    def main(rank, comm):
+        me = comm.bind(rank)
+        sub = yield me.split(color=rank % 2, key=rank)
+        return sub.size
+
+    results = run_world(4, main)
+    assert results == [2, 2, 2, 2]
+
+
+def test_bound_sendrecv_and_scatter():
+    def main(rank, comm):
+        me = comm.bind(rank)
+        values = [10, 20] if rank == 0 else None
+        mine = yield me.scatter(values, root=0)
+        other = 1 - rank
+        swapped = yield me.sendrecv(dest=other, payload=mine, source=other)
+        return (mine, swapped)
+
+    results = run_world(2, main)
+    assert results == [(10, 20), (20, 10)]
+
+
+def test_bind_validates_rank():
+    eng = Engine()
+    world = MpiWorld(eng, 2)
+    with pytest.raises(SimulationError):
+        world.comm.bind(5)
+
+
+def test_view_reports_size():
+    eng = Engine()
+    world = MpiWorld(eng, 3)
+    assert world.comm.bind(1).size == 3

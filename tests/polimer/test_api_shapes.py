@@ -1,0 +1,100 @@
+"""Shape tests for the two-call PoLiMER API contract.
+
+The paper's claim (§IV-B, §VI-C) is that enabling SeeSAw takes two
+lines; these tests pin the API surface so the contract survives
+refactors.
+"""
+
+import inspect
+
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import StaticController
+from repro.des import Engine
+from repro.mpi import MpiWorld
+from repro.polimer import (
+    PowerManager,
+    poli_init_power_manager,
+    poli_power_alloc,
+)
+
+
+def test_init_signature_mirrors_paper_order():
+    """comm, rank, master, power_cap — the paper's argument order."""
+    params = list(inspect.signature(poli_init_power_manager).parameters)
+    assert params[:6] == [
+        "engine",
+        "world",
+        "rank",
+        "master",
+        "power_cap_w",
+        "node",
+    ]
+
+
+def test_power_alloc_returns_manager_generator():
+    eng = Engine()
+    world = MpiWorld(eng, 2)
+    ctl = StaticController(220.0, 1, 1, THETA_NODE)
+    pm = poli_init_power_manager(
+        eng, world.comm, 0, 0, 110.0, THETA_NODE, controller=ctl
+    )
+    gen = poli_power_alloc(pm)
+    assert inspect.isgenerator(gen)
+
+
+def test_manager_exposes_partition_comm_after_init():
+    eng = Engine()
+    world = MpiWorld(eng, 4)
+    ctl = StaticController(440.0, 2, 2, THETA_NODE)
+    managers = {}
+
+    def main(rank, comm):
+        pm = poli_init_power_manager(
+            eng,
+            comm,
+            rank,
+            0 if rank < 2 else 1,
+            110.0,
+            THETA_NODE,
+            controller=ctl if rank == 0 else None,
+        )
+        managers[rank] = pm
+        yield from pm.initialize()
+        return (pm.part_comm.size, pm.part_rank)
+
+    results = world.run(main)
+    # two partitions of two ranks each, densely renumbered
+    assert results == [(2, 0), (2, 1), (2, 0), (2, 1)]
+
+
+def test_initial_caps_installed_at_init():
+    eng = Engine()
+    world = MpiWorld(eng, 2)
+    ctl = StaticController(
+        220.0, 1, 1, THETA_NODE, sim_share=120 / 220
+    )
+
+    def main(rank, comm):
+        pm = poli_init_power_manager(
+            eng,
+            comm,
+            rank,
+            rank,  # rank0 sim, rank1 ana
+            110.0,
+            THETA_NODE,
+            controller=ctl if rank == 0 else None,
+        )
+        yield from pm.initialize()
+        eng_now = eng.now
+        yield comm.barrier(rank)
+        # actuation delay has passed after the barrier round-trips
+        from repro.des import Delay
+
+        yield Delay(0.02)
+        return pm.node.current_cap_w
+
+    caps = world.run(main)
+    assert caps[0] == pytest.approx(120.0)
+    assert caps[1] == pytest.approx(100.0)

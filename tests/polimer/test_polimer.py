@@ -1,0 +1,152 @@
+"""Tests for the PoLiMER layer: node runtime + distributed manager."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import SeeSAwController, StaticController
+from repro.des import Delay, Engine
+from repro.mpi import MpiWorld
+from repro.polimer import (
+    NodeRuntime,
+    poli_init_power_manager,
+    poli_power_alloc,
+)
+from repro.workloads.profiles import PHASES
+
+
+# ------------------------------------------------------------ NodeRuntime
+def test_compute_advances_virtual_time():
+    eng = Engine()
+    node = NodeRuntime(eng, THETA_NODE, 150.0, actuation_delay_s=0.0)
+    from repro.des import Process
+
+    def body():
+        # force demand at base = 125 W < 150 cap -> runs unthrottled;
+        # with cap 150 the force kernel reaches turbo (demand 137).
+        dur = yield node.compute(PHASES["force"], 1.0)
+        return (eng.now, dur)
+
+    p = Process(eng, body())
+    eng.run()
+    t, dur = p.result
+    assert t == pytest.approx(dur)
+    assert 0.5 < dur <= 1.0  # faster than base (turbo headroom)
+
+
+def test_energy_counter_monotone_with_waits():
+    eng = Engine()
+    node = NodeRuntime(eng, THETA_NODE, 110.0, actuation_delay_s=0.0)
+    e0 = node.energy_counter_j()
+    eng.run_until(10.0)  # node idles (spin-wait accounting)
+    e1 = node.energy_counter_j()
+    assert e1 > e0
+    # wait draw is min(p_wait, cap) = min(105, 110) = 105 W
+    assert e1 - e0 == pytest.approx(10.0 * 105.0)
+
+
+def test_request_cap_applies_after_delay():
+    eng = Engine()
+    node = NodeRuntime(eng, THETA_NODE, 110.0, actuation_delay_s=0.01)
+    node.request_cap(130.0)
+    assert node.current_cap_w == pytest.approx(110.0)
+    eng.run_until(0.02)
+    assert node.current_cap_w == pytest.approx(130.0)
+
+
+def test_mean_power_between_readings():
+    eng = Engine()
+    node = NodeRuntime(eng, THETA_NODE, 110.0, actuation_delay_s=0.0)
+    t0, e0 = eng.now, node.energy_counter_j()
+    eng.run_until(4.0)
+    assert node.mean_power_w(t0, e0) == pytest.approx(105.0)
+
+
+# ------------------------------------------------------------ PowerManager
+def run_managed_world(controller, n_sim=2, n_ana=2, syncs=3, work=0.5):
+    """Tiny world: sim ranks compute 2x the work of analysis ranks."""
+    eng = Engine()
+    world = MpiWorld(eng, n_sim + n_ana)
+    managers = {}
+
+    def main(rank, comm):
+        master = 0 if rank < n_sim else 1
+        pm = poli_init_power_manager(
+            eng,
+            comm,
+            rank,
+            master,
+            110.0,
+            THETA_NODE,
+            controller=controller if rank == 0 else None,
+        )
+        managers[rank] = pm
+        yield from pm.initialize()
+        node = pm.node
+        for _ in range(syncs):
+            factor = 2.0 if master == 0 else 1.0
+            yield node.compute(PHASES["force"], work * factor)
+            yield from poli_power_alloc(pm)
+        return node.current_cap_w
+
+    results = world.run(main)
+    return managers, results
+
+
+def test_controller_must_be_on_rank_zero_only():
+    eng = Engine()
+    world = MpiWorld(eng, 2)
+    ctl = StaticController(220.0, 1, 1, THETA_NODE)
+    with pytest.raises(ValueError):
+        poli_init_power_manager(
+            eng, world.comm, 1, 0, 110.0, THETA_NODE, controller=ctl
+        )
+    with pytest.raises(ValueError):
+        poli_init_power_manager(
+            eng, world.comm, 0, 0, 110.0, THETA_NODE, controller=None
+        )
+
+
+def test_master_flag_validated():
+    eng = Engine()
+    world = MpiWorld(eng, 2)
+    ctl = StaticController(220.0, 1, 1, THETA_NODE)
+    with pytest.raises(ValueError):
+        poli_init_power_manager(
+            eng, world.comm, 0, 2, 110.0, THETA_NODE, controller=ctl
+        )
+
+
+def test_static_controller_never_changes_caps():
+    ctl = StaticController(440.0, 2, 2, THETA_NODE)
+    managers, caps = run_managed_world(ctl)
+    assert all(c == pytest.approx(110.0) for c in caps)
+    assert managers[0].allocation_log == []
+
+
+def test_observations_reflect_partition_asymmetry():
+    ctl = StaticController(440.0, 2, 2, THETA_NODE)
+    managers, _ = run_managed_world(ctl)
+    obs = managers[0].observation_log
+    assert len(obs) == 3
+    for o in obs[1:]:  # first interval includes init transients
+        assert o.sim.work_time_s > o.ana.work_time_s
+
+
+def test_seesaw_moves_power_toward_slow_simulation():
+    ctl = SeeSAwController(440.0, 2, 2, THETA_NODE, window=1)
+    managers, caps = run_managed_world(ctl, syncs=6)
+    sim_caps = caps[:2]
+    ana_caps = caps[2:]
+    assert all(s > 110.0 for s in sim_caps)
+    assert all(a < 110.0 for a in ana_caps)
+    # budget conserved across the world
+    assert sum(caps) == pytest.approx(440.0, abs=1.0)
+
+
+def test_allocation_log_populated():
+    ctl = SeeSAwController(440.0, 2, 2, THETA_NODE, window=1)
+    managers, _ = run_managed_world(ctl, syncs=4)
+    assert len(managers[0].allocation_log) == 4
+    steps = [s for s, _ in managers[0].allocation_log]
+    assert steps == [1, 2, 3, 4]

@@ -1,0 +1,70 @@
+"""Tests for the msr-safe / powercap sysfs façade."""
+
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.power.msr import LONG_WINDOW_US, SHORT_WINDOW_US, MsrSafeFs
+from repro.power.rapl import RaplDomainArray
+
+
+def make_fs(n=2, cap=110.0):
+    dom = RaplDomainArray(THETA_NODE, n, cap, actuation_delay_s=0.0)
+    return MsrSafeFs(dom, energy_uj=lambda i: 123456 + i, clock=lambda: 0.0), dom
+
+
+def test_listdir_names_nodes():
+    fs, _ = make_fs(3)
+    assert fs.listdir() == ["intel-rapl:0", "intel-rapl:1", "intel-rapl:2"]
+
+
+def test_read_power_limit():
+    fs, _ = make_fs(cap=110.0)
+    assert fs.read("intel-rapl:0/constraint_0_power_limit_uw") == 110_000_000
+
+
+def test_read_energy_counter():
+    fs, _ = make_fs()
+    assert fs.read("intel-rapl:1/energy_uj") == 123457
+
+
+def test_read_windows():
+    fs, _ = make_fs()
+    assert fs.read("intel-rapl:0/constraint_0_time_window_us") == LONG_WINDOW_US
+    assert fs.read("intel-rapl:0/constraint_1_time_window_us") == SHORT_WINDOW_US
+
+
+def test_write_cap_roundtrips():
+    fs, dom = make_fs(cap=110.0)
+    fs.write("intel-rapl:1/constraint_0_power_limit_uw", 125_000_000)
+    caps, _ = dom.segment_at(0.0)
+    assert caps[1] == pytest.approx(125.0)
+    assert caps[0] == pytest.approx(110.0)  # other node untouched
+
+
+def test_write_clamps_to_hardware():
+    fs, dom = make_fs()
+    fs.write("intel-rapl:0/constraint_0_power_limit_uw", 1_000_000_000)
+    caps, _ = dom.segment_at(0.0)
+    assert caps[0] == pytest.approx(THETA_NODE.tdp_watts)
+
+
+def test_write_to_readonly_file_rejected():
+    fs, _ = make_fs()
+    with pytest.raises(PermissionError):
+        fs.write("intel-rapl:0/energy_uj", 1)
+
+
+def test_bad_paths():
+    fs, _ = make_fs()
+    with pytest.raises(FileNotFoundError):
+        fs.read("not-a-node/energy_uj")
+    with pytest.raises(FileNotFoundError):
+        fs.read("intel-rapl:9/energy_uj")
+    with pytest.raises(FileNotFoundError):
+        fs.read("intel-rapl:0/bogus_attr")
+
+
+def test_nonpositive_write_rejected():
+    fs, _ = make_fs()
+    with pytest.raises(ValueError):
+        fs.write("intel-rapl:0/constraint_0_power_limit_uw", 0)

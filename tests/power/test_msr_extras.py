@@ -1,0 +1,47 @@
+"""Additional msr-safe façade coverage: short-term constraint writes
+and integration with a live energy accumulator."""
+
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.power.msr import MsrSafeFs
+from repro.power.rapl import RaplDomainArray
+
+
+def test_short_term_constraint_writable():
+    dom = RaplDomainArray(THETA_NODE, 2, 110.0, actuation_delay_s=0.0)
+    fs = MsrSafeFs(dom, clock=lambda: 0.0)
+    fs.write("intel-rapl:0/constraint_1_power_limit_uw", 120_000_000)
+    caps, _ = dom.segment_at(0.0)
+    assert caps[0] == pytest.approx(120.0)
+
+
+def test_energy_counter_tracks_accumulator():
+    counters = {0: 0, 1: 0}
+    dom = RaplDomainArray(THETA_NODE, 2, 110.0, actuation_delay_s=0.0)
+    fs = MsrSafeFs(dom, energy_uj=lambda i: counters[i])
+    counters[0] = 5_000_000
+    assert fs.read("intel-rapl:0/energy_uj") == 5_000_000
+    assert fs.read("intel-rapl:1/energy_uj") == 0
+    counters[0] += 1_000_000
+    assert fs.read("intel-rapl:0/energy_uj") == 6_000_000
+
+
+def test_clock_timestamp_used_for_actuation():
+    dom = RaplDomainArray(THETA_NODE, 1, 110.0, actuation_delay_s=0.01)
+    now = {"t": 5.0}
+    fs = MsrSafeFs(dom, clock=lambda: now["t"])
+    fs.write("intel-rapl:0/constraint_0_power_limit_uw", 130_000_000)
+    caps, nxt = dom.segment_at(5.0)
+    assert caps[0] == pytest.approx(110.0)  # still pending
+    assert nxt == pytest.approx(5.01)
+    caps, _ = dom.segment_at(5.02)
+    assert caps[0] == pytest.approx(130.0)
+
+
+def test_requested_caps_visible_before_actuation():
+    dom = RaplDomainArray(THETA_NODE, 1, 110.0, actuation_delay_s=0.01)
+    fs = MsrSafeFs(dom, clock=lambda: 0.0)
+    fs.write("intel-rapl:0/constraint_0_power_limit_uw", 125_000_000)
+    # sysfs read-back reflects the requested (register) value at once
+    assert fs.read("intel-rapl:0/constraint_0_power_limit_uw") == 125_000_000

@@ -1,0 +1,93 @@
+"""Tests for the RAPL emulation layer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.power.rapl import CapMode, RaplDomainArray
+
+
+def make_domain(n=4, cap=110.0, mode=CapMode.LONG, delay=0.010):
+    return RaplDomainArray(
+        THETA_NODE, n, cap, mode=mode, actuation_delay_s=delay
+    )
+
+
+def test_initial_caps_installed_immediately():
+    dom = make_domain(cap=110.0)
+    caps, nxt = dom.segment_at(0.0)
+    assert np.allclose(caps, 110.0)
+    assert nxt == np.inf
+
+
+def test_caps_clamped_to_hardware_range():
+    dom = make_domain(cap=50.0)
+    caps, _ = dom.segment_at(0.0)
+    assert np.allclose(caps, THETA_NODE.rapl_min_watts)
+    dom2 = make_domain(cap=400.0)
+    caps2, _ = dom2.segment_at(0.0)
+    assert np.allclose(caps2, THETA_NODE.tdp_watts)
+
+
+def test_request_takes_effect_after_actuation_delay():
+    dom = make_domain(cap=110.0, delay=0.010)
+    dom.request_caps(130.0, now=1.0)
+    caps, nxt = dom.segment_at(1.005)
+    assert np.allclose(caps, 110.0)  # still old caps
+    assert nxt == pytest.approx(1.010)
+    caps2, nxt2 = dom.segment_at(1.010)
+    assert np.allclose(caps2, 130.0)
+    assert nxt2 == np.inf
+
+
+def test_second_request_supersedes_pending():
+    dom = make_domain(cap=110.0, delay=0.010)
+    dom.request_caps(130.0, now=1.0)
+    dom.request_caps(140.0, now=1.002)
+    caps, _ = dom.segment_at(1.012)
+    assert np.allclose(caps, 140.0)
+
+
+def test_per_node_caps():
+    dom = make_domain(n=3, cap=110.0, delay=0.0)
+    dom.request_caps(np.array([100.0, 120.0, 140.0]), now=0.0)
+    caps, _ = dom.segment_at(0.0)
+    assert np.allclose(caps, [100.0, 120.0, 140.0])
+
+
+def test_none_mode_pins_tdp_and_ignores_requests():
+    dom = make_domain(cap=110.0, mode=CapMode.NONE)
+    caps, _ = dom.segment_at(0.0)
+    assert np.allclose(caps, THETA_NODE.tdp_watts)
+    dom.request_caps(100.0, now=0.0)
+    caps2, _ = dom.segment_at(10.0)
+    assert np.allclose(caps2, THETA_NODE.tdp_watts)
+    assert dom.requests == 0
+
+
+def test_long_short_mode_undershoots():
+    dom = make_domain(cap=110.0, mode=CapMode.LONG_SHORT)
+    caps, _ = dom.segment_at(0.0)
+    assert np.allclose(caps, 110.0 * 0.985)
+
+
+def test_requested_caps_reports_pending():
+    dom = make_domain(cap=110.0, delay=0.010)
+    dom.request_caps(125.0, now=0.0)
+    assert np.allclose(dom.requested_caps, 125.0)
+    # enforcement still at the old value
+    caps, _ = dom.segment_at(0.0)
+    assert np.allclose(caps, 110.0)
+
+
+def test_request_returns_clamped_values():
+    dom = make_domain(cap=110.0)
+    out = dom.request_caps(50.0, now=0.0)
+    assert np.allclose(out, THETA_NODE.rapl_min_watts)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        make_domain(n=0)
+    with pytest.raises(ValueError):
+        make_domain(delay=-1.0)

@@ -1,0 +1,128 @@
+"""Tests for the cluster-level power manager."""
+
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.core import SeeSAwController, StaticController
+from repro.sched import ClusterPowerManager
+from repro.workloads import JobConfig, ProxyJobSession
+
+
+def make_session(analyses, dim, n_nodes=8, steps=60, seed=5, seesaw=True):
+    cfg = JobConfig(
+        analyses=analyses,
+        dim=dim,
+        n_nodes=n_nodes,
+        n_verlet_steps=steps,
+        seed=seed,
+    )
+    cls = SeeSAwController if seesaw else StaticController
+    return ProxyJobSession(
+        cfg, cls(cfg.budget_w, cfg.n_sim, cfg.n_ana, THETA_NODE)
+    )
+
+
+def two_job_manager(policy, budget_per_node=140.0, **kw):
+    jobs = {
+        # compute-heavy: benefits from extra power
+        "compute": make_session(("full_msd",), dim=16, seed=5),
+        # light/low-demand: leaves headroom
+        "light": make_session(("vacf",), dim=8, seed=6),
+    }
+    total_nodes = sum(s.cfg.n_nodes for s in jobs.values())
+    return ClusterPowerManager(
+        jobs, machine_budget_w=budget_per_node * total_nodes,
+        epoch_s=30.0, policy=policy, **kw,
+    )
+
+
+# ------------------------------------------------------------- validation
+def test_empty_jobs_rejected():
+    with pytest.raises(ValueError):
+        ClusterPowerManager({}, 1000.0)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        two_job_manager("bogus")
+
+
+def test_budget_below_minimum_rejected():
+    jobs = {"a": make_session(("vacf",), dim=8)}
+    with pytest.raises(ValueError):
+        ClusterPowerManager(jobs, machine_budget_w=100.0)
+
+
+def test_invalid_epoch_and_damping():
+    jobs = {"a": make_session(("vacf",), dim=8)}
+    with pytest.raises(ValueError):
+        ClusterPowerManager(jobs, 8 * 110.0, epoch_s=0.0)
+    with pytest.raises(ValueError):
+        ClusterPowerManager(jobs, 8 * 110.0, damping=0.0)
+
+
+# ------------------------------------------------------------- behaviour
+def test_all_jobs_complete():
+    mgr = two_job_manager("static")
+    res = mgr.run()
+    for name, t in res.jobs.items():
+        assert t.finish_time_s > 0
+        assert t.n_syncs == 60
+    assert res.makespan_s == max(t.finish_time_s for t in res.jobs.values())
+
+
+def test_static_policy_keeps_budgets():
+    mgr = two_job_manager("static")
+    initial = dict(mgr._budgets)
+    mgr.run()
+    assert mgr._budgets == initial
+
+
+def test_budgets_never_exceed_machine_budget():
+    mgr = two_job_manager("utilization")
+    mgr.run()
+    assert sum(mgr._budgets.values()) <= mgr.machine_budget_w + 1e-6
+
+
+def test_budgets_respect_job_envelopes():
+    mgr = two_job_manager("utilization")
+    res = mgr.run()
+    for name, telem in res.jobs.items():
+        lo, hi = mgr._lo[name], mgr._hi[name]
+        for _, b in telem.budget_history:
+            assert lo - 1e-9 <= b <= hi + 1e-9
+
+
+def test_utilization_shifts_power_toward_hungry_job():
+    mgr = two_job_manager("utilization")
+    mgr.run()
+    # the compute-heavy job ends with more budget than the light one
+    # (both have 8 nodes, so equal static budgets)
+    assert mgr._budgets["compute"] > mgr._budgets["light"]
+
+
+def test_utilization_improves_hungry_job_over_static():
+    static = two_job_manager("static").run()
+    managed = two_job_manager("utilization").run()
+    assert (
+        managed.finish_time("compute") < static.finish_time("compute")
+    )
+    # and the donor is not catastrophically hurt: the light job's
+    # slowdown stays below the compute job's gain
+    gain = static.finish_time("compute") - managed.finish_time("compute")
+    loss = managed.finish_time("light") - static.finish_time("light")
+    assert loss < gain
+
+
+def test_single_job_cluster_is_a_noop():
+    jobs = {"only": make_session(("vacf",), dim=8)}
+    mgr = ClusterPowerManager(jobs, 8 * 110.0, epoch_s=30.0, policy="utilization")
+    res = mgr.run()
+    assert res.jobs["only"].n_syncs == 60
+    assert mgr._budgets["only"] == pytest.approx(8 * 110.0)
+
+
+def test_mean_power_telemetry_sane():
+    res = two_job_manager("static").run()
+    for telem in res.jobs.values():
+        assert 65.0 < telem.mean_power_w < 215.0

@@ -1,0 +1,72 @@
+"""Tests for hierarchical RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, spawn_streams
+
+
+def test_same_seed_same_draws():
+    a = RngStream(42).uniform(size=10)
+    b = RngStream(42).uniform(size=10)
+    assert np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStream(42).uniform(size=10)
+    b = RngStream(43).uniform(size=10)
+    assert not np.allclose(a, b)
+
+
+def test_children_independent_of_parent_consumption():
+    """A child's draws do not depend on how much the parent consumed."""
+    p1 = RngStream(7)
+    c1 = p1.child("x")
+    draws1 = c1.uniform(size=5)
+
+    p2 = RngStream(7)
+    p2.uniform(size=1000)  # consume parent heavily
+    c2 = p2.child("x")
+    draws2 = c2.uniform(size=5)
+    assert np.allclose(draws1, draws2)
+
+
+def test_sibling_order_determines_streams():
+    p = RngStream(7)
+    a = p.child("first")
+    b = p.child("second")
+    assert not np.allclose(a.uniform(size=5), b.uniform(size=5))
+
+
+def test_child_names_accumulate():
+    s = RngStream(1, name="root").child("a").child("b")
+    assert s.name == "root/a/b"
+
+
+def test_wrapped_generator_cannot_spawn():
+    gen = np.random.default_rng(0)
+    s = RngStream(gen)
+    with pytest.raises(ValueError):
+        s.child("x")
+
+
+def test_spawn_streams_helper():
+    streams = spawn_streams(5, ["noise", "sensor"])
+    assert set(streams) == {"noise", "sensor"}
+    assert not np.allclose(
+        streams["noise"].uniform(size=4), streams["sensor"].uniform(size=4)
+    )
+
+
+def test_lognormal_positive():
+    s = RngStream(3)
+    draws = s.lognormal(0.0, 0.5, size=100)
+    assert np.all(draws > 0)
+
+
+def test_integers_and_choice():
+    s = RngStream(4)
+    ints = s.integers(0, 10, size=100)
+    assert ints.min() >= 0 and ints.max() < 10
+    picks = s.choice([1, 2, 3], size=10)
+    assert set(np.unique(picks)).issubset({1, 2, 3})

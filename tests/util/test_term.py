@@ -1,0 +1,66 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+
+from repro.util.term import bar_chart, sparkline
+
+
+def test_sparkline_range_in_prefix():
+    out = sparkline([1.0, 2.0, 3.0], label="x")
+    assert out.startswith("x [1..3]:")
+
+
+def test_sparkline_extremes_use_ramp_ends():
+    out = sparkline([0.0, 10.0])
+    body = out.split(": ", 1)[1]
+    assert body[0] == " "
+    assert body[-1] == "@"
+
+
+def test_sparkline_resamples_to_width():
+    out = sparkline(range(1000), width=20)
+    assert len(out.split(": ", 1)[1]) == 20
+
+
+def test_sparkline_constant_series():
+    out = sparkline([5.0] * 10)
+    assert "[5..5]" in out
+
+
+def test_sparkline_validation():
+    with pytest.raises(ValueError):
+        sparkline([])
+    with pytest.raises(ValueError):
+        sparkline([1.0], width=0)
+
+
+def test_bar_chart_scales_to_peak():
+    out = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+    lines = out.splitlines()
+    assert lines[0].endswith("#" * 10)
+    assert lines[1].endswith("#" * 5)
+
+
+def test_bar_chart_negative_marked():
+    out = bar_chart([("gain", 4.0), ("loss", -4.0)], width=4)
+    lines = out.splitlines()
+    assert lines[0].endswith("####")
+    assert lines[1].endswith("----")
+
+
+def test_bar_chart_labels_aligned():
+    out = bar_chart([("long-label", 1.0), ("x", 1.0)])
+    lines = out.splitlines()
+    assert lines[0].index("+") == lines[1].index("+")
+
+
+def test_bar_chart_zero_peak():
+    out = bar_chart([("a", 0.0)])
+    assert "#" not in out
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart([])
+    with pytest.raises(ValueError):
+        bar_chart([("a", 1.0)], width=0)

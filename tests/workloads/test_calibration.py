@@ -1,0 +1,45 @@
+"""Tests for the real-engine calibration bridge."""
+
+import pytest
+
+from repro.workloads.calibration import calibrate
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibrate(dim=1, n_steps=8)
+
+
+def test_atom_count(report):
+    assert report.n_atoms == 1568
+
+
+def test_pair_density_is_liquid_like(report):
+    # ~30-40 neighbors per atom within cutoff+skin at this density
+    assert 20.0 < report.pairs_per_atom < 60.0
+
+
+def test_rebuilds_happen_but_not_every_step(report):
+    assert 0.0 <= report.rebuild_fraction < 1.0
+
+
+def test_rdf_is_heaviest_light_analysis(report):
+    ops = report.analysis_ops
+    # RDF's cross-set pair search dominates the per-molecule analyses —
+    # matching its "compute bound" profile in the paper.
+    assert ops["rdf"] > ops["vacf"]
+    assert ops["rdf"] > ops["msd1d"]
+
+
+def test_full_msd_exceeds_components(report):
+    ops = report.analysis_ops
+    assert ops["full_msd"] > ops["msd1d"]
+    assert ops["full_msd"] > ops["msd2d"]
+    assert ops["full_msd"] > ops["msd"]
+
+
+def test_render_mentions_everything(report):
+    text = report.render()
+    assert "pairs/step" in text
+    for name in ("rdf", "vacf", "full_msd"):
+        assert name in text

@@ -1,0 +1,31 @@
+"""Tests for the proxy's measurement model (leak, epochs, power)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lammps_proxy import attribution_leak
+from repro.workloads.profiles import comm_scale
+
+
+def test_leak_asymmetry():
+    sim_leak, ana_leak = attribution_leak(128)
+    assert sim_leak > ana_leak
+    assert 0.0 < ana_leak < 0.5
+    assert 0.7 < sim_leak <= 1.0
+
+
+def test_sim_leak_grows_with_scale():
+    leaks = [attribution_leak(n)[0] for n in (128, 256, 512, 1024)]
+    assert leaks == sorted(leaks)
+    assert leaks[-1] <= 1.0
+
+
+def test_ana_leak_scale_invariant():
+    assert attribution_leak(128)[1] == attribution_leak(1024)[1]
+
+
+def test_comm_scale_below_anchor_floor():
+    # tiny jobs can't have less than a quarter of anchor comm work
+    assert comm_scale(2) >= 0.25
+    with pytest.raises(ValueError):
+        comm_scale(0)

@@ -1,0 +1,91 @@
+"""Tests for the time-shared mode (§III contrast case)."""
+
+import pytest
+
+from repro.cluster.node import THETA_NODE
+from repro.workloads import JobConfig
+from repro.workloads.profiles import PHASES, WorkPhase
+from repro.workloads.time_shared import (
+    TimeSharedResult,
+    run_time_shared_job,
+    segment_saturation_w,
+)
+
+
+def make_cfg(**kw):
+    defaults = dict(
+        analyses=("vacf",),
+        dim=16,
+        n_nodes=8,
+        n_verlet_steps=20,
+        seed=6,
+        budget_per_node_w=160.0,  # generous: headroom for eco to save
+    )
+    defaults.update(kw)
+    return JobConfig(**defaults)
+
+
+# ------------------------------------------------------------- saturation
+def test_saturation_is_turbo_demand_plus_margin():
+    phases = [WorkPhase(PHASES["force"], 1.0)]
+    sat = segment_saturation_w(phases, THETA_NODE)
+    assert sat == pytest.approx(
+        PHASES["force"].demand(THETA_NODE, THETA_NODE.f_turbo) + 1.0
+    )
+
+
+def test_saturation_takes_segment_max():
+    phases = [
+        WorkPhase(PHASES["comm"], 1.0),
+        WorkPhase(PHASES["force"], 1.0),
+    ]
+    assert segment_saturation_w(phases, THETA_NODE) == pytest.approx(
+        segment_saturation_w([phases[1]], THETA_NODE)
+    )
+
+
+def test_saturation_empty_segment_floor():
+    assert segment_saturation_w([], THETA_NODE) == THETA_NODE.rapl_min_watts
+
+
+# ------------------------------------------------------------- policies
+def test_invalid_policy():
+    with pytest.raises(ValueError):
+        run_time_shared_job(make_cfg(), policy="bogus")
+
+
+def test_eco_releases_budget_at_same_runtime():
+    """The paper's §III sentence: power can be "reduced to save
+    energy" while a segment cannot use it — the eco policy hands the
+    headroom back without costing any time (or, in this demand-driven
+    power model, any measured energy)."""
+    cfg = make_cfg()
+    budget = run_time_shared_job(cfg, policy="budget")
+    eco = run_time_shared_job(cfg, policy="eco")
+    assert eco.total_time_s == pytest.approx(budget.total_time_s, rel=0.02)
+    assert eco.total_energy_j == pytest.approx(
+        budget.total_energy_j, rel=0.02
+    )
+    assert budget.released_j == 0.0
+    assert eco.mean_released_w > 5.0 * cfg.n_nodes  # >5 W/node returned
+
+
+def test_tight_budget_leaves_nothing_to_release():
+    """At 110 W there is no headroom above saturation."""
+    cfg = make_cfg(budget_per_node_w=110.0)
+    eco = run_time_shared_job(cfg, policy="eco")
+    assert eco.mean_released_w < 1.0 * cfg.n_nodes
+
+
+def test_mean_power_within_envelope():
+    res = run_time_shared_job(make_cfg(), policy="budget")
+    per_node = res.mean_power_w / 8
+    assert 65.0 < per_node < 215.0
+
+
+def test_deterministic_per_policy():
+    cfg = make_cfg()
+    a = run_time_shared_job(cfg, policy="eco")
+    b = run_time_shared_job(cfg, policy="eco")
+    assert a.total_time_s == pytest.approx(b.total_time_s)
+    assert a.total_energy_j == pytest.approx(b.total_energy_j)
