@@ -8,18 +8,52 @@ reports the regeneration time through pytest-benchmark.
 Benchmarks run each harness exactly once (``pedantic`` with one round):
 the harnesses are full experiments — medians of repeated simulated
 jobs — not microkernels to be re-sampled.
+
+The harnesses submit their runs through the campaign layer
+(:mod:`repro.campaign`), so the suite can optionally fan out and cache
+without touching any benchmark:
+
+* ``SEESAW_BENCH_JOBS=N``  — run each harness's cells on N workers;
+* ``SEESAW_BENCH_CACHE=DIR`` — reuse cell results across invocations
+  (content-addressed; a code edit invalidates the cache).
+
+Both unset (the default, and what CI uses) keeps the historical
+serial in-process behaviour — and identical numbers either way, since
+cells are deterministic.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+
+from repro.campaign import CampaignEngine, CellStore, use_engine
+
+
+def _engine_from_env() -> CampaignEngine | None:
+    jobs = int(os.environ.get("SEESAW_BENCH_JOBS", "1"))
+    cache = os.environ.get("SEESAW_BENCH_CACHE")
+    if jobs <= 1 and not cache:
+        return None
+    store = CellStore(Path(cache)) if cache else None
+    return CampaignEngine(jobs=max(jobs, 1), store=store)
 
 
 def regenerate(benchmark, fn, **kwargs):
     """Run ``fn(**kwargs)`` once under the benchmark timer and return
     its result."""
+    engine = _engine_from_env()
+
+    def _call():
+        if engine is None:
+            return fn(**kwargs)
+        with use_engine(engine):
+            return fn(**kwargs)
+
     result = benchmark.pedantic(
-        lambda: fn(**kwargs), iterations=1, rounds=1, warmup_rounds=0
+        _call, iterations=1, rounds=1, warmup_rounds=0
     )
     print()
     print(result.render())

@@ -1,0 +1,54 @@
+"""Campaign layer: parallel experiment orchestration with caching.
+
+Every data point in the paper is assembled from *cells* — single
+``(JobConfig, approach, controller kwargs, run index)`` managed runs.
+The experiment harnesses used to execute cells one at a time in a
+serial loop; this package turns them into a campaign engine:
+
+* :mod:`repro.campaign.cells` — the cell specification and the pure
+  function that executes one cell (deterministic: a cell's result
+  depends only on its spec, never on the process running it);
+* :mod:`repro.campaign.hashing` — stable content hashing of cell
+  specs plus a code-version salt, so cached results are invalidated
+  the moment any source file changes;
+* :mod:`repro.campaign.store` — the content-addressed on-disk result
+  cache (atomic writes, corruption-tolerant reads);
+* :mod:`repro.campaign.journal` — structured JSONL run journal (one
+  line per cell: key, status, wall time, cache hit/miss, worker);
+* :mod:`repro.campaign.executor` — the engine: fans cells out across
+  a ``ProcessPoolExecutor`` with per-cell timeout and bounded retry,
+  falls back to in-process serial execution when the pool is
+  unavailable, and exposes the ambient-engine hooks
+  (:func:`get_engine` / :func:`use_engine`) the experiment runner
+  submits through.
+
+Because cells are deterministic, a campaign executed with any number
+of workers is bit-identical to the serial loop it replaced.
+"""
+
+from repro.campaign.cells import CellSpec, cell_label, run_cell
+from repro.campaign.executor import (
+    CampaignEngine,
+    CellFailure,
+    get_engine,
+    use_engine,
+)
+from repro.campaign.hashing import cell_key, code_salt, stable_hash
+from repro.campaign.journal import RunJournal
+from repro.campaign.store import CellStore, default_cache_dir
+
+__all__ = [
+    "CampaignEngine",
+    "CellFailure",
+    "CellSpec",
+    "CellStore",
+    "RunJournal",
+    "cell_key",
+    "cell_label",
+    "code_salt",
+    "default_cache_dir",
+    "get_engine",
+    "run_cell",
+    "stable_hash",
+    "use_engine",
+]

@@ -1,0 +1,303 @@
+"""The campaign engine: cached, parallel, fault-tolerant cell fan-out.
+
+Execution strategy for a batch of cells:
+
+1. every cell is looked up in the content-addressed store (when one is
+   attached) and deduplicated against identical cells in the batch;
+2. remaining cells fan out across a ``ProcessPoolExecutor`` when the
+   engine was built with ``jobs > 1``; each pool wait is bounded by the
+   per-cell timeout, and a raised/hung/lost worker triggers bounded
+   retry, with the final attempt always executed in-process so a
+   poisoned pool cannot fail a deterministic cell;
+3. if the pool cannot be created at all (restricted environments,
+   missing semaphores) the whole batch gracefully degrades to the
+   in-process serial path — identical results, just slower;
+4. every outcome is journaled and stored.
+
+Cells are deterministic (seed-addressed RNG streams), so parallel and
+serial execution are bit-identical — asserted by the regression tests.
+
+The experiment runner submits through the *ambient engine*
+(:func:`get_engine`); :func:`use_engine` swaps it for a scope, which is
+how the CLI's ``--jobs/--cache/--journal`` flags reach every harness
+without per-harness plumbing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable, Sequence
+
+from repro.campaign.cells import CellSpec, cell_label, run_cell
+from repro.campaign.hashing import cell_key
+from repro.campaign.journal import RunJournal
+from repro.campaign.store import CellStore
+
+__all__ = ["CampaignEngine", "CellFailure", "get_engine", "use_engine"]
+
+
+class CellFailure(RuntimeError):
+    """A cell exhausted every attempt (pool and in-process)."""
+
+
+def _pool_call(run_fn: Callable, spec: CellSpec):
+    """Pool-side wrapper: tag the result with the worker's pid."""
+    return os.getpid(), run_fn(spec)
+
+
+class CampaignEngine:
+    """Executes batches of cells; see the module docstring.
+
+    Parameters
+    ----------
+    jobs:
+        worker processes; ``1`` (default) runs in-process serially.
+    store:
+        optional :class:`CellStore` for content-addressed caching.
+    journal:
+        optional :class:`RunJournal`; one with ``path=None`` (counters
+        only) is created when omitted.
+    timeout_s:
+        per-cell bound on waiting for a pool worker (``None`` = wait
+        forever). In-process execution is not interruptible and is
+        therefore not bounded.
+    retries:
+        extra attempts after a failed/timed-out first attempt. The
+        last attempt always runs in-process.
+    run_fn:
+        the cell executor (default :func:`run_cell`); injectable for
+        fault-injection tests. Must be picklable for pool use.
+    progress:
+        emit a live one-line progress update to stderr.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: CellStore | None = None,
+        journal: RunJournal | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        run_fn: Callable[[CellSpec], object] = run_cell,
+        progress: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.store = store
+        self.journal = journal if journal is not None else RunJournal()
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.run_fn = run_fn
+        self.progress = progress
+        self._done = 0
+        self._total = 0
+
+    # ------------------------------------------------------------- api
+    def run_cells(self, specs: Sequence[CellSpec]) -> list:
+        """Execute ``specs``; returns results in submission order."""
+        specs = list(specs)
+        keys = [cell_key(s) for s in specs]
+        results: list = [None] * len(specs)
+        self._total += len(specs)
+
+        todo: list[int] = []  # first occurrence of each uncached key
+        dups: dict[int, int] = {}  # duplicate index -> first index
+        first: dict[str, int] = {}
+        for i, (key, spec) in enumerate(zip(keys, specs)):
+            if key in first:
+                dups[i] = first[key]
+                continue
+            t0 = time.perf_counter()
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                results[i] = cached
+                self.journal.cell(
+                    key, cell_label(spec), "hit", time.perf_counter() - t0
+                )
+                self._tick()
+                continue
+            first[key] = i
+            todo.append(i)
+
+        if todo:
+            if self.jobs > 1 and len(todo) > 1:
+                self._run_pool(specs, keys, todo, results)
+            else:
+                for i in todo:
+                    results[i] = self._run_serial(specs[i], keys[i])
+
+        for i, j in dups.items():
+            results[i] = results[j]
+            self.journal.cell(keys[i], cell_label(specs[i]), "dup", 0.0)
+            self._tick()
+        self._finish_progress()
+        return results
+
+    # ------------------------------------------------------- internals
+    def _complete(self, spec, key, result, wall_s, status, backend, worker):
+        if self.store is not None:
+            self.store.put(key, result)
+        self.journal.cell(
+            key,
+            cell_label(spec),
+            status,
+            wall_s,
+            backend=backend,
+            worker=worker,
+        )
+        self._tick()
+
+    def _run_pool(self, specs, keys, todo, results) -> None:
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(todo))
+            )
+        except Exception as exc:  # restricted env: no fork/semaphores
+            self.journal.event("pool-unavailable", error=repr(exc))
+            for i in todo:
+                results[i] = self._run_serial(specs[i], keys[i])
+            return
+
+        futures = {i: pool.submit(_pool_call, self.run_fn, specs[i]) for i in todo}
+        broken = False
+        try:
+            for i in todo:
+                spec, key = specs[i], keys[i]
+                if broken:
+                    results[i] = self._run_serial(spec, key, attempt=2)
+                    continue
+                t0 = time.perf_counter()
+                try:
+                    worker, result = futures[i].result(timeout=self.timeout_s)
+                except FutureTimeout:
+                    futures[i].cancel()
+                    self.journal.cell(
+                        key,
+                        cell_label(spec),
+                        "timeout",
+                        time.perf_counter() - t0,
+                        backend="pool",
+                    )
+                    results[i] = self._run_serial(spec, key, attempt=2)
+                except BrokenExecutor as exc:
+                    broken = True
+                    self.journal.event("pool-broken", error=repr(exc))
+                    results[i] = self._run_serial(spec, key, attempt=2)
+                except Exception as exc:
+                    self.journal.cell(
+                        key,
+                        cell_label(spec),
+                        "error",
+                        time.perf_counter() - t0,
+                        backend="pool",
+                        error=repr(exc),
+                    )
+                    results[i] = self._run_serial(spec, key, attempt=2)
+                else:
+                    self._complete(
+                        spec,
+                        key,
+                        result,
+                        time.perf_counter() - t0,
+                        "done",
+                        "pool",
+                        worker,
+                    )
+                    results[i] = result
+        finally:
+            # wait=False: a hung worker must not stall completed cells
+            with contextlib.suppress(TypeError):
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_serial(self, spec: CellSpec, key: str, attempt: int = 1):
+        """In-process execution with bounded retry.
+
+        ``attempt`` numbers continue across backends: a cell that
+        failed once in the pool arrives here with ``attempt=2``.
+        """
+        last_exc: Exception | None = None
+        label = cell_label(spec)
+        for n in range(attempt, self.retries + 2):
+            t0 = time.perf_counter()
+            try:
+                result = self.run_fn(spec)
+            except Exception as exc:
+                last_exc = exc
+                self.journal.cell(
+                    key,
+                    label,
+                    "error",
+                    time.perf_counter() - t0,
+                    attempt=n,
+                    error=repr(exc),
+                )
+                continue
+            self._complete(
+                spec,
+                key,
+                result,
+                time.perf_counter() - t0,
+                "done" if n == 1 else "retried",
+                "serial",
+                os.getpid(),
+            )
+            return result
+        self.journal.cell(key, label, "failed", 0.0, attempt=self.retries + 1)
+        raise CellFailure(
+            f"cell {label} failed after {self.retries + 1} attempt(s)"
+        ) from last_exc
+
+    # ------------------------------------------------------- progress
+    def _tick(self) -> None:
+        self._done += 1
+        if not self.progress:
+            return
+        c = self.journal.counts
+        sys.stderr.write(
+            f"\r[campaign] {self._done}/{self._total} cells"
+            f" · {c['hits']} cached · {c['misses']} run"
+            f" · {c['errors'] + c['timeouts']} faults"
+        )
+        sys.stderr.flush()
+
+    def _finish_progress(self) -> None:
+        if self.progress and self._done:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+# ---------------------------------------------------------------------
+# ambient engine: what the experiment runner submits through
+_default_engine: CampaignEngine | None = None
+_current_engine: CampaignEngine | None = None
+
+
+def get_engine() -> CampaignEngine:
+    """The engine in effect: the :func:`use_engine` scope's engine, or
+    a process-wide default (serial, uncached, counters-only journal)."""
+    global _default_engine
+    if _current_engine is not None:
+        return _current_engine
+    if _default_engine is None:
+        _default_engine = CampaignEngine()
+    return _default_engine
+
+
+@contextlib.contextmanager
+def use_engine(engine: CampaignEngine):
+    """Route all runner submissions through ``engine`` for the scope."""
+    global _current_engine
+    previous = _current_engine
+    _current_engine = engine
+    try:
+        yield engine
+    finally:
+        _current_engine = previous

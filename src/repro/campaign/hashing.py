@@ -1,0 +1,107 @@
+"""Stable content hashing for cell specs.
+
+Cache keys must be identical across processes and interpreter runs
+(Python's own ``hash`` is salted per process) and must change whenever
+either the cell spec *or the code that executes it* changes. The first
+property comes from :func:`canonical` — a deterministic, sorted,
+JSON-serializable normal form for the config types used by cells — and
+the second from :func:`code_salt`, a digest over every source file of
+the :mod:`repro` package.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["canonical", "cell_key", "code_salt", "stable_hash"]
+
+#: environment override for the code-version salt (useful to pin a
+#: cache across known-benign edits, e.g. in CI with docs-only changes)
+CODE_SALT_ENV = "SEESAW_CODE_SALT"
+
+
+def canonical(obj):
+    """Normalize ``obj`` into a deterministic JSON-serializable form.
+
+    Supported: dataclasses, enums, dicts (any canonicalizable keys,
+    sorted), sequences, sets (sorted), paths, numpy scalars and the
+    JSON primitives. Anything else raises ``TypeError`` — silently
+    falling back to ``repr`` would risk unstable keys.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips exactly; avoids json float formatting drift
+        return ["f", repr(obj)]
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, canonical(obj.value)]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dc",
+            type(obj).__name__,
+            [[f.name, canonical(getattr(obj, f.name))] for f in fields(obj)],
+        ]
+    if isinstance(obj, dict):
+        items = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["dict", items]
+    if isinstance(obj, (set, frozenset)):
+        members = [canonical(v) for v in obj]
+        members.sort(key=lambda m: json.dumps(m, sort_keys=True))
+        return ["set", members]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, Path):
+        return ["path", str(obj)]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return canonical(float(obj))
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for cache hashing"
+    )
+
+
+def stable_hash(obj) -> str:
+    """Hex SHA-256 of the canonical form of ``obj``."""
+    payload = json.dumps(canonical(obj), separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+_code_salt_cache: str | None = None
+
+
+def code_salt() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Any edit anywhere in the package changes the salt and therefore
+    every cache key — correctness over cleverness: an unrelated edit
+    costs one cold campaign, a stale result is silent data corruption.
+    """
+    global _code_salt_cache
+    override = os.environ.get(CODE_SALT_ENV)
+    if override:
+        return override
+    if _code_salt_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_salt_cache = digest.hexdigest()
+    return _code_salt_cache
+
+
+def cell_key(spec) -> str:
+    """Content-address of a cell: spec hash salted by the code version."""
+    return stable_hash([canonical(spec), code_salt()])

@@ -1,0 +1,128 @@
+"""Structured JSONL run journal.
+
+One line per cell event (``{"event": "cell", ...}``) with the cache
+key, status, wall time, attempt number, backend and worker id, plus
+engine-level events (pool fallback, batch boundaries) and a final
+summary. The journal doubles as the campaign's counters — hits,
+misses, errors, timeouts, retries — which the CLI and the tests read
+back without parsing the file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["RunJournal"]
+
+#: cell statuses that count as an executed (non-cached) cell
+_EXECUTED = frozenset({"done", "retried"})
+
+
+class RunJournal:
+    """Counter-accumulating JSONL writer (file optional).
+
+    With ``path=None`` the journal only keeps counters — the engine
+    always journals, writing to disk only when asked to.
+    """
+
+    def __init__(self, path: Path | str | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self.counts = {
+            "cells": 0,
+            "hits": 0,
+            "misses": 0,
+            "dups": 0,
+            "errors": 0,
+            "timeouts": 0,
+            "retries": 0,
+            "failed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _write(self, record: dict) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def event(self, kind: str, **fields) -> None:
+        """Engine-level event (pool fallback, batch start, ...)."""
+        self._write({"event": kind, "ts": time.time(), **fields})
+
+    def cell(
+        self,
+        key: str,
+        label: str,
+        status: str,
+        wall_s: float,
+        attempt: int = 1,
+        backend: str = "serial",
+        worker: int | None = None,
+        **extra,
+    ) -> None:
+        """One cell outcome.
+
+        ``status``: ``hit`` (cache), ``dup`` (deduplicated within the
+        batch), ``done`` (executed first try), ``retried`` (executed
+        after failures), ``error``/``timeout`` (one failed attempt),
+        ``failed`` (all attempts exhausted).
+        """
+        if status == "hit":
+            self.counts["cells"] += 1
+            self.counts["hits"] += 1
+        elif status == "dup":
+            self.counts["cells"] += 1
+            self.counts["dups"] += 1
+        elif status in _EXECUTED:
+            self.counts["cells"] += 1
+            self.counts["misses"] += 1
+            if status == "retried":
+                self.counts["retries"] += 1
+        elif status == "error":
+            self.counts["errors"] += 1
+        elif status == "timeout":
+            self.counts["timeouts"] += 1
+        elif status == "failed":
+            self.counts["failed"] += 1
+        self._write(
+            {
+                "event": "cell",
+                "ts": time.time(),
+                "key": key,
+                "label": label,
+                "status": status,
+                "wall_s": round(wall_s, 6),
+                "attempt": attempt,
+                "backend": backend,
+                "worker": worker,
+                **extra,
+            }
+        )
+
+    def summary(self, **extra) -> dict:
+        """Write and return the summary record (counters + extras)."""
+        record = {"event": "summary", "ts": time.time(), **self.counts, **extra}
+        self._write(record)
+        return record
+
+    # ------------------------------------------------------------------
+    @property
+    def all_hits(self) -> bool:
+        """True when every scheduled cell was served from the cache."""
+        return self.counts["cells"] > 0 and self.counts["hits"] == self.counts["cells"]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

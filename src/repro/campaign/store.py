@@ -1,0 +1,76 @@
+"""Content-addressed on-disk result cache.
+
+Entries are pickled :class:`~repro.workloads.JobResult` objects stored
+at ``<root>/<key[:2]>/<key>.pkl``. Writes are atomic (temp file +
+``os.replace``) so concurrent campaigns sharing a cache directory can
+never observe a torn entry; unreadable entries are treated as misses
+and removed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+__all__ = ["CellStore", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Default cache location: ``$SEESAW_CACHE_DIR`` if set, else the
+    XDG cache home."""
+    env = os.environ.get("SEESAW_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "seesaw-repro" / "cells"
+
+
+class CellStore:
+    """Pickle-backed content-addressed store keyed by cell hash."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Cached result for ``key``, or ``None`` on miss/corruption."""
+        path = self.path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # corrupt or truncated entry: drop it and treat as a miss
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, value) -> None:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

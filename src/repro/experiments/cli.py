@@ -4,21 +4,31 @@ Usage::
 
     seesaw-experiments list
     seesaw-experiments run fig4
-    seesaw-experiments run all
-    seesaw-experiments run fig3a --quick
-    seesaw-experiments run all --output artifacts/
+    seesaw-experiments run all --jobs 8
+    seesaw-experiments run fig3a --quick --cache /tmp/cells
+    seesaw-experiments run all --output artifacts/ --journal run.jsonl
 
 ``--quick`` trades statistical fidelity for speed (fewer Verlet steps,
 single run instead of median-of-3) — useful for smoke-testing.
+``--runs N`` overrides the number of repeated runs per data point.
 ``--output DIR`` additionally writes each experiment's rendered table
-(``<name>.txt``) and a best-effort JSON dump of its raw result
-(``<name>.json``) into ``DIR``.
+(``<name>.txt``) and a JSON dump of its raw result (``<name>.json``)
+into ``DIR``.
+
+Campaign flags (see :mod:`repro.campaign`): ``--jobs N`` fans the
+underlying cells out across N worker processes; results are cached
+content-addressed under ``--cache DIR`` (default
+``~/.cache/seesaw-repro/cells``; disable with ``--no-cache``) so
+re-running an experiment whose inputs and code are unchanged is
+near-instant; ``--journal PATH`` appends a JSONL record per cell plus
+a final summary.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import enum
 import inspect
 import json
 import sys
@@ -27,6 +37,13 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.campaign import (
+    CampaignEngine,
+    CellStore,
+    RunJournal,
+    default_cache_dir,
+    use_engine,
+)
 from repro.experiments import EXPERIMENTS
 
 __all__ = ["main"]
@@ -42,25 +59,34 @@ def _jsonable(obj):
             f.name: _jsonable(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
         }
+    if isinstance(obj, enum.Enum):
+        return _jsonable(obj.value)
     if isinstance(obj, np.ndarray):
         return obj.tolist()
     if isinstance(obj, (np.integer, np.floating)):
         return obj.item()
     if isinstance(obj, dict):
         return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_jsonable(v) for v in obj), key=repr)
     if isinstance(obj, (list, tuple)):
         return [_jsonable(v) for v in obj]
+    if isinstance(obj, Path):
+        return str(obj)
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
     return repr(obj)
 
 
-def _run_one(name: str, quick: bool, output: Path | None) -> str:
+def _harness_kwargs(fn, overrides: dict) -> dict:
+    """The subset of ``overrides`` the harness signature accepts."""
+    params = inspect.signature(fn).parameters
+    return {k: v for k, v in overrides.items() if k in params}
+
+
+def _run_one(name: str, overrides: dict, output: Path | None) -> str:
     fn = EXPERIMENTS[name]
-    kwargs = {}
-    if quick:
-        params = inspect.signature(fn).parameters
-        kwargs = {k: v for k, v in QUICK_OVERRIDES.items() if k in params}
+    kwargs = _harness_kwargs(fn, overrides)
     t0 = time.perf_counter()
     result = fn(**kwargs)
     elapsed = time.perf_counter() - t0
@@ -72,6 +98,36 @@ def _run_one(name: str, quick: bool, output: Path | None) -> str:
             json.dumps(_jsonable(result), indent=2) + "\n"
         )
     return f"{rendered}\n\n[{name} regenerated in {elapsed:.1f} s]"
+
+
+def _first_doc_line(fn) -> str:
+    doc = inspect.getdoc(fn) or ""
+    for line in doc.splitlines():
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+def _build_engine(args) -> tuple[CampaignEngine, RunJournal]:
+    """Campaign engine from the CLI flags (cache failures degrade)."""
+    store = None
+    if not args.no_cache:
+        cache_dir = args.cache if args.cache is not None else default_cache_dir()
+        try:
+            store = CellStore(cache_dir)
+        except OSError as exc:
+            print(
+                f"warning: cell cache disabled ({cache_dir}: {exc})",
+                file=sys.stderr,
+            )
+    journal = RunJournal(args.journal)
+    engine = CampaignEngine(
+        jobs=args.jobs,
+        store=store,
+        journal=journal,
+        progress=sys.stderr.isatty(),
+    )
+    return engine, journal
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,17 +145,57 @@ def main(argv: list[str] | None = None) -> int:
         help="fewer steps / single run for a fast smoke pass",
     )
     run_p.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="repeated runs per data point (overrides --quick's 1)",
+    )
+    run_p.add_argument(
         "--output",
         type=Path,
         default=None,
         help="directory to write <name>.txt and <name>.json artifacts",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cell fan-out (default: 1, serial)",
+    )
+    run_p.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="cell result cache directory "
+        "(default: $SEESAW_CACHE_DIR or ~/.cache/seesaw-repro/cells)",
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cell result cache",
+    )
+    run_p.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append a JSONL journal line per cell (plus a summary)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        width = max(len(n) for n in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):
-            print(name)
+            print(f"{name:<{width}}  {_first_doc_line(EXPERIMENTS[name])}")
         return 0
+
+    if args.runs is not None and args.runs < 1:
+        parser.error("--runs must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     names = (
         sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -109,9 +205,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    for name in names:
-        print(_run_one(name, args.quick, args.output))
-        print()
+
+    overrides = dict(QUICK_OVERRIDES) if args.quick else {}
+    if args.runs is not None:
+        overrides["n_runs"] = args.runs
+
+    engine, journal = _build_engine(args)
+    try:
+        with use_engine(engine):
+            for name in names:
+                print(_run_one(name, overrides, args.output))
+                print()
+        journal.summary(jobs=args.jobs, experiments=names)
+    finally:
+        journal.close()
     return 0
 
 

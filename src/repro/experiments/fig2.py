@@ -41,6 +41,7 @@ class Fig2Result:
 
 
 def run_fig2() -> Fig2Result:
+    """Regenerate Figure 2's illustrative 210 W optimal-split example."""
     blue, red = optimal_split(
         t_sim=100.0, p_sim=90.0, t_ana=60.0, p_ana=120.0, budget_w=210.0
     )

@@ -6,6 +6,13 @@ median of 3 runs, and every managed run is paired with a static
 baseline inside the same job — identical rank placement — so that
 job-to-job allocation variability cancels. We reproduce that pairing by
 seeding the managed run and its baseline with the same job seed.
+
+Every run is submitted as a *cell* through the ambient campaign engine
+(:mod:`repro.campaign`): by default that is an in-process serial
+engine with behaviour identical to calling :func:`repro.workloads
+.run_job` directly, but under ``use_engine`` (what the CLI's
+``--jobs/--cache/--journal`` flags install) the same cells fan out
+across worker processes and hit the content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign import CellSpec, get_engine
 from repro.cluster.node import THETA_NODE, NodeSpec
 from repro.core import (
     PowerAwareController,
@@ -23,7 +31,7 @@ from repro.core import (
     TimeAwareController,
 )
 from repro.util.stats import median, percent_improvement
-from repro.workloads import JobConfig, JobResult, run_job
+from repro.workloads import JobConfig, JobResult
 
 __all__ = [
     "APPROACHES",
@@ -71,9 +79,29 @@ def run_managed(
     run_index: int = 0,
     **controller_kwargs,
 ) -> JobResult:
-    """One managed run of ``cfg`` under approach ``name``."""
-    controller = build_controller(name, cfg, **controller_kwargs)
-    return run_job(cfg, controller, run_index=run_index)
+    """One managed run of ``cfg`` under approach ``name``.
+
+    Submitted through the ambient campaign engine, so it parallelizes
+    and caches when one is installed via ``use_engine``.
+    """
+    cell = CellSpec(name, cfg, run_index, dict(controller_kwargs))
+    return get_engine().run_cells([cell])[0]
+
+
+def _paired_cells(
+    name: str,
+    cfg: JobConfig,
+    run_index: int,
+    baseline_sim_share: float,
+    controller_kwargs: dict,
+) -> tuple[CellSpec, CellSpec]:
+    """(managed, baseline) cells for one paired run."""
+    return (
+        CellSpec(name, cfg, run_index, dict(controller_kwargs)),
+        CellSpec(
+            "static", cfg, run_index, {"sim_share": baseline_sim_share}
+        ),
+    )
 
 
 def paired_improvement(
@@ -86,14 +114,10 @@ def paired_improvement(
     """% runtime improvement of one managed run over its paired static
     baseline (same job seed and run index → same allocation and noise,
     the paper's §VII-A pairing)."""
-    managed = run_managed(
-        name, cfg, run_index=run_index, **controller_kwargs
-    )
-    baseline = run_managed(
-        "static",
-        cfg,
-        run_index=run_index,
-        sim_share=baseline_sim_share,
+    managed, baseline = get_engine().run_cells(
+        _paired_cells(
+            name, cfg, run_index, baseline_sim_share, controller_kwargs
+        )
     )
     return percent_improvement(managed.total_time_s, baseline.total_time_s)
 
@@ -105,14 +129,22 @@ def median_improvement(
     baseline_sim_share: float = 0.5,
     **controller_kwargs,
 ) -> float:
-    """Median-of-``n_runs`` improvement (the paper's data points)."""
+    """Median-of-``n_runs`` improvement (the paper's data points).
+
+    All ``2 * n_runs`` cells of the data point are submitted as one
+    batch, so they fan out together under a parallel engine.
+    """
+    cells: list[CellSpec] = []
+    for i in range(n_runs):
+        cells.extend(
+            _paired_cells(
+                name, cfg, i, baseline_sim_share, controller_kwargs
+            )
+        )
+    results = get_engine().run_cells(cells)
     return median(
-        paired_improvement(
-            name,
-            cfg,
-            run_index=i,
-            baseline_sim_share=baseline_sim_share,
-            **controller_kwargs,
+        percent_improvement(
+            results[2 * i].total_time_s, results[2 * i + 1].total_time_s
         )
         for i in range(n_runs)
     )

@@ -1,0 +1,193 @@
+"""Campaign engine: determinism across backends, caching, dedup, and
+fault tolerance (raising / hanging / dying workers, missing pool).
+
+The fault-injection ``run_fn``s are module-level so the process pool
+can pickle them; the child-only faults use ``multiprocessing
+.parent_process()`` to behave only inside a pool worker, which lets
+the in-process retry succeed — exactly the recovery path the engine
+promises.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignEngine,
+    CellFailure,
+    CellSpec,
+    CellStore,
+    RunJournal,
+    run_cell,
+)
+from repro.campaign import executor as executor_mod
+from repro.workloads import JobConfig
+
+
+def _spec(seed=1, run_index=0):
+    return CellSpec(
+        "seesaw",
+        JobConfig(
+            analyses=("vacf",), dim=16, n_nodes=8, seed=seed, n_verlet_steps=10
+        ),
+        run_index=run_index,
+    )
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def raise_in_child(spec):
+    if _in_worker():
+        raise RuntimeError("injected worker fault")
+    return run_cell(spec)
+
+
+def hang_in_child(spec):
+    if _in_worker():
+        time.sleep(10.0)
+    return run_cell(spec)
+
+
+def die_in_child(spec):
+    if _in_worker():
+        os._exit(13)
+    return run_cell(spec)
+
+
+def always_raise(spec):
+    raise ValueError("unconditionally broken cell")
+
+
+_CALLS = {"n": 0}
+
+
+def counting_fn(spec):
+    _CALLS["n"] += 1
+    return run_cell(spec)
+
+
+# ----------------------------------------------------------- determinism
+def test_parallel_results_identical_to_serial():
+    """ISSUE acceptance: --jobs N must be bit-identical to serial."""
+    specs = [_spec(seed=s, run_index=r) for s in (1, 2) for r in (0, 1)]
+    serial = CampaignEngine(jobs=1).run_cells(specs)
+    parallel = CampaignEngine(jobs=4).run_cells(specs)
+    assert len(serial) == len(parallel) == 4
+    for a, b in zip(serial, parallel):
+        assert a == b  # full dataclass equality: config, records, totals
+        assert a.total_time_s == b.total_time_s
+
+
+def test_results_keep_submission_order():
+    specs = [_spec(seed=s) for s in (5, 3, 9)]
+    results = CampaignEngine(jobs=2).run_cells(specs)
+    assert [r.config.seed for r in results] == [5, 3, 9]
+
+
+# ----------------------------------------------------------- caching
+def test_cache_hit_skips_execution(tmp_path):
+    store = CellStore(tmp_path)
+    journal = RunJournal()
+    engine = CampaignEngine(store=store, journal=journal, run_fn=counting_fn)
+    _CALLS["n"] = 0
+    cold = engine.run_cells([_spec(seed=1), _spec(seed=2)])
+    assert _CALLS["n"] == 2 and journal.counts["misses"] == 2
+
+    journal2 = RunJournal()
+    engine2 = CampaignEngine(store=store, journal=journal2, run_fn=counting_fn)
+    warm = engine2.run_cells([_spec(seed=1), _spec(seed=2)])
+    assert _CALLS["n"] == 2  # nothing re-executed
+    assert journal2.all_hits and journal2.counts["hits"] == 2
+    assert warm == cold
+
+
+def test_identical_cells_in_batch_deduplicated():
+    journal = RunJournal()
+    engine = CampaignEngine(journal=journal, run_fn=counting_fn)
+    _CALLS["n"] = 0
+    a, b = engine.run_cells([_spec(seed=7), _spec(seed=7)])
+    assert _CALLS["n"] == 1
+    assert journal.counts["dups"] == 1
+    assert a == b
+
+
+# ----------------------------------------------------------- robustness
+def test_raising_worker_is_retried_and_journaled(tmp_path):
+    """ISSUE acceptance: a raising worker is retried, the failure is
+    journaled, and the campaign completes with correct results."""
+    path = tmp_path / "run.jsonl"
+    specs = [_spec(seed=1), _spec(seed=2)]
+    expected = CampaignEngine().run_cells(specs)
+    with RunJournal(path) as journal:
+        engine = CampaignEngine(
+            jobs=2, journal=journal, run_fn=raise_in_child, retries=1
+        )
+        results = engine.run_cells(specs)
+    assert results == expected
+    assert journal.counts["errors"] == 2  # one pool failure per cell
+    assert journal.counts["retries"] == 2  # both recovered in-process
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    errors = [l for l in lines if l.get("status") == "error"]
+    assert errors and all("injected worker fault" in l["error"] for l in errors)
+    assert any(l.get("status") == "retried" for l in lines)
+
+
+def test_hanging_worker_times_out_and_recovers():
+    journal = RunJournal()
+    engine = CampaignEngine(
+        jobs=2, journal=journal, run_fn=hang_in_child, timeout_s=0.5
+    )
+    specs = [_spec(seed=1), _spec(seed=2)]
+    expected = CampaignEngine().run_cells(specs)
+    results = engine.run_cells(specs)
+    assert results == expected
+    assert journal.counts["timeouts"] >= 1
+    assert journal.counts["cells"] == 2
+
+
+def test_dead_worker_breaks_pool_and_falls_back():
+    journal = RunJournal()
+    engine = CampaignEngine(jobs=2, journal=journal, run_fn=die_in_child)
+    specs = [_spec(seed=1), _spec(seed=2)]
+    results = engine.run_cells(specs)
+    assert results == CampaignEngine().run_cells(specs)
+    assert journal.counts["cells"] == 2
+
+
+def test_unrecoverable_cell_raises_cell_failure():
+    journal = RunJournal()
+    engine = CampaignEngine(journal=journal, run_fn=always_raise, retries=1)
+    with pytest.raises(CellFailure):
+        engine.run_cells([_spec()])
+    assert journal.counts["errors"] == 2  # initial attempt + 1 retry
+    assert journal.counts["failed"] == 1
+
+
+def test_pool_unavailable_falls_back_to_serial(tmp_path, monkeypatch):
+    def broken_pool(*a, **kw):
+        raise OSError("no semaphores in this sandbox")
+
+    monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", broken_pool)
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as journal:
+        engine = CampaignEngine(jobs=4, journal=journal)
+        results = engine.run_cells([_spec(seed=1), _spec(seed=2)])
+    assert [r.config.seed for r in results] == [1, 2]
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert any(l["event"] == "pool-unavailable" for l in lines)
+    assert journal.counts["misses"] == 2
+
+
+# ----------------------------------------------------------- validation
+def test_engine_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CampaignEngine(jobs=0)
+    with pytest.raises(ValueError):
+        CampaignEngine(retries=-1)
+    with pytest.raises(ValueError):
+        CellSpec("seesaw", _spec().cfg, run_index=-1)

@@ -1,0 +1,75 @@
+"""Stable hashing: keys must be deterministic, spec-sensitive and
+code-version-salted."""
+
+import enum
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CellSpec, cell_key, stable_hash
+from repro.campaign.hashing import CODE_SALT_ENV, canonical, code_salt
+from repro.power.rapl import CapMode
+from repro.workloads import JobConfig
+
+
+def _cfg(**kw):
+    base = dict(analyses=("vacf",), dim=16, n_nodes=8, seed=1)
+    base.update(kw)
+    return JobConfig(**base)
+
+
+def test_canonical_dict_order_independent():
+    assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+
+def test_canonical_handles_enums_paths_sets():
+    assert canonical(CapMode.LONG) == ["enum", "CapMode", "long"]
+    assert canonical(Path("/tmp/x")) == ["path", "/tmp/x"]
+    assert canonical({3, 1, 2}) == canonical({2, 3, 1})
+
+
+def test_canonical_enum_dict_keys():
+    # NoiseConfig keys its sigma tables by CapMode
+    a = {CapMode.LONG: 0.1, CapMode.NONE: 0.2}
+    b = {CapMode.NONE: 0.2, CapMode.LONG: 0.1}
+    assert canonical(a) == canonical(b)
+
+
+def test_canonical_rejects_unknown_types():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        canonical(Opaque())
+
+
+def test_stable_hash_distinguishes_specs():
+    k1 = cell_key(CellSpec("seesaw", _cfg(seed=1)))
+    k2 = cell_key(CellSpec("seesaw", _cfg(seed=2)))
+    k3 = cell_key(CellSpec("seesaw", _cfg(seed=1), run_index=1))
+    k4 = cell_key(CellSpec("static", _cfg(seed=1)))
+    k5 = cell_key(CellSpec("seesaw", _cfg(seed=1), controller_kwargs={"window": 2}))
+    assert len({k1, k2, k3, k4, k5}) == 5
+    assert k1 == cell_key(CellSpec("seesaw", _cfg(seed=1)))
+
+
+def test_float_precision_survives_hashing():
+    a = stable_hash(0.1 + 0.2)
+    b = stable_hash(0.3)
+    assert a != b  # 0.1+0.2 != 0.3 exactly; the hash must not round
+
+
+def test_code_salt_env_override(monkeypatch):
+    spec = CellSpec("seesaw", _cfg())
+    base = cell_key(spec)
+    monkeypatch.setenv(CODE_SALT_ENV, "pinned-salt")
+    assert code_salt() == "pinned-salt"
+    assert cell_key(spec) != base
+
+
+def test_code_salt_is_cached_and_hexadecimal(monkeypatch):
+    monkeypatch.delenv(CODE_SALT_ENV, raising=False)
+    salt = code_salt()
+    assert salt == code_salt()
+    int(salt, 16)
+    assert len(salt) == 64

@@ -1,0 +1,55 @@
+"""Run journal: JSONL structure and counter bookkeeping."""
+
+import json
+
+from repro.campaign import RunJournal
+
+
+def test_counters_only_without_path():
+    j = RunJournal()
+    j.cell("k1", "l1", "hit", 0.0)
+    j.cell("k2", "l2", "done", 0.5, backend="pool", worker=123)
+    j.cell("k2", "l2", "error", 0.1, attempt=1)
+    j.cell("k2", "l2", "retried", 0.2, attempt=2)
+    j.cell("k3", "l3", "timeout", 1.0)
+    j.cell("k4", "l4", "dup", 0.0)
+    assert j.counts["cells"] == 4
+    assert j.counts["hits"] == 1
+    assert j.counts["misses"] == 2
+    assert j.counts["dups"] == 1
+    assert j.counts["errors"] == 1
+    assert j.counts["timeouts"] == 1
+    assert j.counts["retries"] == 1
+    assert not j.all_hits
+
+
+def test_jsonl_file_contents(tmp_path):
+    path = tmp_path / "sub" / "run.jsonl"
+    with RunJournal(path) as j:
+        j.event("pool-unavailable", error="nope")
+        j.cell("deadbeef", "seesaw/x", "done", 0.25, backend="pool", worker=7)
+        summary = j.summary(jobs=4)
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [l["event"] for l in lines] == ["pool-unavailable", "cell", "summary"]
+    cell = lines[1]
+    assert cell["key"] == "deadbeef"
+    assert cell["status"] == "done"
+    assert cell["backend"] == "pool"
+    assert cell["worker"] == 7
+    assert cell["wall_s"] == 0.25
+    assert lines[2]["misses"] == 1 and lines[2]["jobs"] == 4
+    assert summary["cells"] == 1
+
+
+def test_journal_appends_across_instances(tmp_path):
+    path = tmp_path / "run.jsonl"
+    RunJournal(path).cell("a", "a", "done", 0.1)
+    RunJournal(path).cell("b", "b", "done", 0.1)
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_all_hits():
+    j = RunJournal()
+    assert not j.all_hits  # vacuously false: nothing scheduled
+    j.cell("k", "l", "hit", 0.0)
+    assert j.all_hits

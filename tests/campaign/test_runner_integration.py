@@ -1,0 +1,78 @@
+"""Runner ↔ campaign integration: the harness entry points submit
+through the ambient engine, with unchanged numerics."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignEngine, CellStore, RunJournal, use_engine
+from repro.experiments.runner import (
+    build_controller,
+    median_improvement,
+    paired_improvement,
+    run_managed,
+)
+from repro.workloads import JobConfig, run_job
+
+
+def _cfg(**kw):
+    base = dict(
+        analyses=("full_msd",), dim=16, n_nodes=8, seed=3, n_verlet_steps=20
+    )
+    base.update(kw)
+    return JobConfig(**base)
+
+
+def test_run_managed_matches_direct_run_job():
+    cfg = _cfg()
+    direct = run_job(cfg, build_controller("seesaw", cfg), run_index=1)
+    via_engine = run_managed("seesaw", cfg, run_index=1)
+    assert via_engine == direct
+
+
+def test_median_improvement_parallel_matches_serial():
+    """ISSUE acceptance: a campaign at --jobs 4 produces numerically
+    identical metrics to the serial loop."""
+    cfg = _cfg()
+    serial = median_improvement("seesaw", cfg, n_runs=3)
+    with use_engine(CampaignEngine(jobs=4)):
+        parallel = median_improvement("seesaw", cfg, n_runs=3)
+    assert parallel == serial
+
+
+def test_paired_improvement_parallel_matches_serial():
+    cfg = _cfg(analyses=("vacf",))
+    serial = paired_improvement("time-aware", cfg, run_index=2)
+    with use_engine(CampaignEngine(jobs=2)):
+        parallel = paired_improvement("time-aware", cfg, run_index=2)
+    assert parallel == serial
+
+
+def test_cached_median_is_identical_and_all_hits(tmp_path):
+    cfg = _cfg()
+    store = CellStore(tmp_path)
+    with use_engine(CampaignEngine(store=store)):
+        cold = median_improvement("seesaw", cfg, n_runs=2)
+    warm_journal = RunJournal()
+    with use_engine(CampaignEngine(store=store, journal=warm_journal)):
+        warm = median_improvement("seesaw", cfg, n_runs=2)
+    assert warm == cold
+    assert warm_journal.all_hits
+
+
+def test_engine_scope_restored_after_use_engine():
+    from repro.campaign.executor import get_engine
+
+    outer = get_engine()
+    with use_engine(CampaignEngine(jobs=2)) as inner:
+        assert get_engine() is inner
+    assert get_engine() is outer
+
+
+def test_median_still_median_of_paired_runs():
+    # the batched submission must not change the statistic itself
+    cfg = _cfg()
+    singles = [
+        paired_improvement("seesaw", cfg, run_index=i) for i in range(3)
+    ]
+    med = median_improvement("seesaw", cfg, n_runs=3)
+    assert med == pytest.approx(float(np.median(singles)))

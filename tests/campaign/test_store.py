@@ -1,0 +1,64 @@
+"""Content-addressed store: round-trips, misses, corruption, atomics."""
+
+from repro.campaign import CellSpec, CellStore, cell_key, run_cell
+from repro.campaign.store import default_cache_dir
+from repro.workloads import JobConfig
+
+
+def _spec():
+    return CellSpec(
+        "seesaw",
+        JobConfig(
+            analyses=("vacf",), dim=16, n_nodes=8, seed=1, n_verlet_steps=10
+        ),
+    )
+
+
+def test_roundtrip_preserves_result_exactly(tmp_path):
+    store = CellStore(tmp_path)
+    spec = _spec()
+    key = cell_key(spec)
+    result = run_cell(spec)
+    store.put(key, result)
+    loaded = store.get(key)
+    assert loaded == result  # dataclass equality: config, records, times
+    assert loaded.total_time_s == result.total_time_s
+    assert key in store
+    assert len(store) == 1
+
+
+def test_missing_key_is_none(tmp_path):
+    assert CellStore(tmp_path).get("0" * 64) is None
+
+
+def test_corrupt_entry_is_dropped(tmp_path):
+    store = CellStore(tmp_path)
+    key = "ab" + "0" * 62
+    path = store.path(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert store.get(key) is None
+    assert not path.exists()  # corrupt entry removed
+
+
+def test_put_is_atomic_no_tmp_left_behind(tmp_path):
+    store = CellStore(tmp_path)
+    store.put("cd" + "0" * 62, {"x": 1})
+    leftovers = [p for p in tmp_path.rglob("*") if p.suffix != ".pkl" and p.is_file()]
+    assert leftovers == []
+
+
+def test_clear(tmp_path):
+    store = CellStore(tmp_path)
+    store.put("ab" + "0" * 62, 1)
+    store.put("cd" + "0" * 62, 2)
+    assert store.clear() == 2
+    assert len(store) == 0
+
+
+def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("SEESAW_CACHE_DIR", str(tmp_path / "cells"))
+    assert default_cache_dir() == tmp_path / "cells"
+    monkeypatch.delenv("SEESAW_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "seesaw-repro" / "cells"

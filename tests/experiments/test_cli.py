@@ -1,0 +1,190 @@
+"""CLI coverage: list, unknown experiments, override plumbing,
+artifact writing, and the campaign flags.
+
+Heavy experiments are replaced by a monkeypatched stub entry in the
+(shared) ``EXPERIMENTS`` registry, so these tests exercise the real
+argument parsing, override selection, artifact export and campaign
+wiring without regenerating paper figures.
+"""
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import cli
+from repro.workloads import JobConfig
+
+
+@dataclass
+class StubResult:
+    kwargs: dict
+    tags: set = field(default_factory=lambda: {"b", "a"})
+    where: Path = Path("/tmp/somewhere")
+
+    def render(self) -> str:
+        return f"stub table {sorted(self.kwargs)}"
+
+
+CAPTURED = {}
+
+
+def _stub_experiment(n_runs: int = 3, n_verlet_steps: int = 400):
+    """Stub harness: records the kwargs the CLI passed."""
+    CAPTURED["kwargs"] = {"n_runs": n_runs, "n_verlet_steps": n_verlet_steps}
+    return StubResult(kwargs=CAPTURED["kwargs"])
+
+
+@pytest.fixture
+def stub(monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "stub", _stub_experiment)
+    CAPTURED.clear()
+    return "stub"
+
+
+@pytest.fixture(autouse=True)
+def _no_default_cache(monkeypatch, tmp_path):
+    # keep CLI tests from touching the user-level default cache dir
+    monkeypatch.setenv("SEESAW_CACHE_DIR", str(tmp_path / "default-cache"))
+
+
+# ------------------------------------------------------------------ list
+def test_list_shows_docstring_summaries(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    lines = dict(
+        line.split(None, 1) for line in out.strip().splitlines()
+    )
+    assert set(lines) == set(EXPERIMENTS)
+    assert lines["fig3a"].startswith("Figure 3a")
+    assert lines["table1"].startswith("Regenerate Table I")
+
+
+# ------------------------------------------------------------------ run
+def test_run_unknown_experiment_exits_2(capsys):
+    assert cli.main(["run", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "fig3a" in err  # lists what is available
+
+
+def test_quick_override_plumbing(stub, capsys):
+    assert cli.main(["run", stub, "--quick"]) == 0
+    assert CAPTURED["kwargs"] == {"n_runs": 1, "n_verlet_steps": 100}
+    assert "stub table" in capsys.readouterr().out
+
+
+def test_defaults_without_quick(stub, capsys):
+    assert cli.main(["run", stub]) == 0
+    assert CAPTURED["kwargs"] == {"n_runs": 3, "n_verlet_steps": 400}
+
+
+def test_runs_override_beats_quick(stub, capsys):
+    assert cli.main(["run", stub, "--quick", "--runs", "5"]) == 0
+    assert CAPTURED["kwargs"] == {"n_runs": 5, "n_verlet_steps": 100}
+
+
+@pytest.mark.parametrize("flag, value", [("--runs", "0"), ("--jobs", "0")])
+def test_invalid_counts_exit_2(stub, capsys, flag, value):
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["run", stub, flag, value])
+    assert exc.value.code == 2
+
+
+# ------------------------------------------------------------------ output
+def test_output_writes_txt_and_json(stub, tmp_path, capsys):
+    out_dir = tmp_path / "artifacts"
+    assert cli.main(["run", stub, "--quick", "--output", str(out_dir)]) == 0
+    txt = (out_dir / "stub.txt").read_text()
+    assert "stub table" in txt
+    data = json.loads((out_dir / "stub.json").read_text())
+    # satellite fix: set and Path fields must be JSON round-trippable,
+    # not repr() blobs
+    assert data["tags"] == ["a", "b"]
+    assert data["where"] == "/tmp/somewhere"
+    assert data["kwargs"]["n_runs"] == 1
+
+
+def test_jsonable_handles_sets_paths_enums():
+    from repro.power.rapl import CapMode
+
+    cfg = JobConfig(analyses=("vacf",), dim=16, n_nodes=8, seed=1)
+    encoded = cli._jsonable(
+        {"s": frozenset({2, 1}), "p": Path("a/b"), "m": CapMode.LONG, "cfg": cfg}
+    )
+    rountripped = json.loads(json.dumps(encoded))
+    assert rountripped["s"] == [1, 2]
+    assert rountripped["p"] == "a/b"
+    assert rountripped["m"] == "long"
+    assert rountripped["cfg"]["cap_mode"] == "long"
+
+
+# ------------------------------------------------------------------ campaign
+def _tiny_experiment(n_runs: int = 2, n_verlet_steps: int = 10):
+    """A real (but minuscule) harness that submits cells."""
+    from repro.experiments.runner import median_improvement
+
+    cfg = JobConfig(
+        analyses=("vacf",),
+        dim=16,
+        n_nodes=8,
+        seed=11,
+        n_verlet_steps=n_verlet_steps,
+    )
+    imp = median_improvement("seesaw", cfg, n_runs=n_runs)
+    return StubResult(kwargs={"improvement": imp})
+
+
+def test_cache_and_journal_flags(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    cache = tmp_path / "cells"
+    cold_journal = tmp_path / "cold.jsonl"
+    warm_journal = tmp_path / "warm.jsonl"
+    common = ["run", "tiny", "--quick", "--cache", str(cache)]
+
+    assert cli.main(common + ["--journal", str(cold_journal)]) == 0
+    cold = [json.loads(l) for l in cold_journal.read_text().splitlines()]
+    cold_summary = cold[-1]
+    assert cold_summary["event"] == "summary"
+    assert cold_summary["misses"] > 0
+
+    assert cli.main(common + ["--journal", str(warm_journal)]) == 0
+    warm = [json.loads(l) for l in warm_journal.read_text().splitlines()]
+    warm_summary = warm[-1]
+    # ISSUE acceptance: second invocation is 100 % cell cache hits
+    assert warm_summary["hits"] == warm_summary["cells"] > 0
+    assert warm_summary["misses"] == 0
+    statuses = {l["status"] for l in warm if l["event"] == "cell"}
+    assert statuses == {"hit"}
+    capsys.readouterr()
+
+
+def test_no_cache_disables_store(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    journal = tmp_path / "j.jsonl"
+    args = ["run", "tiny", "--quick", "--no-cache", "--journal", str(journal)]
+    assert cli.main(args) == 0
+    assert cli.main(args) == 0  # second run must re-execute everything
+    summaries = [
+        json.loads(l)
+        for l in journal.read_text().splitlines()
+        if json.loads(l)["event"] == "summary"
+    ]
+    assert all(s["hits"] == 0 and s["misses"] > 0 for s in summaries)
+    assert not (tmp_path / "default-cache").exists()
+    capsys.readouterr()
+
+
+def test_jobs_flag_matches_serial_numbers(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    out_serial = tmp_path / "serial"
+    out_par = tmp_path / "par"
+    base = ["run", "tiny", "--quick", "--no-cache"]
+    assert cli.main(base + ["--output", str(out_serial)]) == 0
+    assert cli.main(base + ["--jobs", "4", "--output", str(out_par)]) == 0
+    a = json.loads((out_serial / "tiny.json").read_text())
+    b = json.loads((out_par / "tiny.json").read_text())
+    assert a["kwargs"]["improvement"] == b["kwargs"]["improvement"]
+    capsys.readouterr()
