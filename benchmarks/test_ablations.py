@@ -15,7 +15,6 @@ Not paper figures — these probe *why* SeeSAw is built the way it is:
 """
 
 import numpy as np
-import pytest
 
 from repro.cluster.node import THETA_NODE
 from repro.core import SeeSAwController, StaticController, TimeAwareController

@@ -10,7 +10,6 @@ paper's low-demand local optimum — see EXPERIMENTS.md — so here we
 verify the probe machinery is at worst neutral on a standard workload.)
 """
 
-import numpy as np
 
 from repro.cluster.node import THETA_NODE
 from repro.cluster.noise import NoiseConfig

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.md.system import ParticleSystem, Species
+from repro.md.system import ParticleSystem
 
 __all__ = ["Analysis", "Frame", "frame_from_system", "molecule_centers"]
 

@@ -37,6 +37,7 @@ from repro.campaign.cells import CellSpec, cell_label, run_cell
 from repro.campaign.hashing import cell_key
 from repro.campaign.journal import RunJournal
 from repro.campaign.store import CellStore
+from repro.telemetry import get_tracer
 
 __all__ = ["CampaignEngine", "CellFailure", "get_engine", "use_engine"]
 
@@ -100,6 +101,32 @@ class CampaignEngine:
         self._done = 0
         self._total = 0
 
+    # ------------------------------------------------------- telemetry
+    def _trace_cell(self, spec: CellSpec, status: str, wall_s: float) -> None:
+        """One closed per-cell span + cache-outcome counter.
+
+        Campaign telemetry lives on the wall clock in trace process 0:
+        the cells *inside* bind the tracer to their own virtual clocks
+        (one pid per simulation run), so explicit wall timestamps keep
+        the campaign lane monotone regardless.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        now = tracer.wall_now()
+        tracer.complete(
+            "campaign.cell",
+            wall_s,
+            cat="campaign",
+            tid=0,
+            ts=now - wall_s,
+            pid=0,
+            label=cell_label(spec),
+            status=status,
+        )
+        kind = {"hit": "hits", "dup": "dups"}.get(status, "runs")
+        tracer.counter(f"campaign.cache_{kind}", cat="campaign").inc()
+
     # ------------------------------------------------------------- api
     def run_cells(self, specs: Sequence[CellSpec]) -> list:
         """Execute ``specs``; returns results in submission order."""
@@ -119,9 +146,9 @@ class CampaignEngine:
             cached = self.store.get(key) if self.store is not None else None
             if cached is not None:
                 results[i] = cached
-                self.journal.cell(
-                    key, cell_label(spec), "hit", time.perf_counter() - t0
-                )
+                wall_s = time.perf_counter() - t0
+                self.journal.cell(key, cell_label(spec), "hit", wall_s)
+                self._trace_cell(spec, "hit", wall_s)
                 self._tick()
                 continue
             first[key] = i
@@ -137,6 +164,7 @@ class CampaignEngine:
         for i, j in dups.items():
             results[i] = results[j]
             self.journal.cell(keys[i], cell_label(specs[i]), "dup", 0.0)
+            self._trace_cell(specs[i], "dup", 0.0)
             self._tick()
         self._finish_progress()
         return results
@@ -153,6 +181,7 @@ class CampaignEngine:
             backend=backend,
             worker=worker,
         )
+        self._trace_cell(spec, status, wall_s)
         self._tick()
 
     def _run_pool(self, specs, keys, todo, results) -> None:

@@ -2,19 +2,53 @@
 
 One line per cell event (``{"event": "cell", ...}``) with the cache
 key, status, wall time, attempt number, backend and worker id, plus
-engine-level events (pool fallback, batch boundaries) and a final
+engine-level events (pool fallback, batch boundaries), telemetry
+records (via :class:`repro.telemetry.JournalSink`) and a final
 summary. The journal doubles as the campaign's counters — hits,
 misses, errors, timeouts, retries — which the CLI and the tests read
 back without parsing the file.
+
+Crash tolerance: every record is flushed and fsynced (falling back to
+a plain flush where fsync is unsupported), and opening an existing
+journal for append first repairs a truncated final line — a crashed
+writer's partial record is dropped so the resumed journal stays
+line-parseable end to end.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 __all__ = ["RunJournal"]
+
+
+def _repair_truncated_tail(path: Path) -> None:
+    """Drop a partial (newline-less) final line left by a crash."""
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return
+    if size == 0:
+        return
+    with path.open("rb+") as fh:
+        # scan backwards in chunks for the last newline
+        chunk = 4096
+        pos = size
+        last_nl = -1
+        while pos > 0 and last_nl < 0:
+            step = min(chunk, pos)
+            pos -= step
+            fh.seek(pos)
+            data = fh.read(step)
+            idx = data.rfind(b"\n")
+            if idx >= 0:
+                last_nl = pos + idx
+        if last_nl == size - 1:
+            return  # final line is complete
+        fh.truncate(last_nl + 1 if last_nl >= 0 else 0)
 
 #: cell statuses that count as an executed (non-cached) cell
 _EXECUTED = frozenset({"done", "retried"})
@@ -32,6 +66,8 @@ class RunJournal:
         self._fh = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self.path.exists():
+                _repair_truncated_tail(self.path)
             self._fh = self.path.open("a")
         self.counts = {
             "cells": 0,
@@ -49,10 +85,18 @@ class RunJournal:
         if self._fh is not None:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
             self._fh.flush()
+            try:
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError):
+                pass  # fsync-or-flush: some filesystems refuse fsync
 
     def event(self, kind: str, **fields) -> None:
         """Engine-level event (pool fallback, batch start, ...)."""
         self._write({"event": kind, "ts": time.time(), **fields})
+
+    def telemetry(self, record: dict) -> None:
+        """One tracer record (see :class:`repro.telemetry.JournalSink`)."""
+        self._write({"event": "telemetry", **record})
 
     def cell(
         self,

@@ -9,7 +9,7 @@ alternative machines can be explored (the ablation benches use this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.interconnect import Interconnect, InterconnectSpec
 from repro.cluster.node import THETA_NODE, NodeSpec

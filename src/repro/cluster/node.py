@@ -10,7 +10,7 @@ power draw for each *phase kind* (see :mod:`repro.power.model`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["NodeSpec", "THETA_NODE"]
 

@@ -30,6 +30,7 @@ import numpy as np
 from repro.cluster.node import NodeSpec
 from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation
+from repro.telemetry import get_tracer
 
 __all__ = ["PowerAwareController"]
 
@@ -108,6 +109,21 @@ class PowerAwareController(PowerController):
         if leftover > 1e-9:
             caps = np.minimum(caps + leftover / len(caps), hi)
 
+        tracer = get_tracer()
+        if tracer.enabled:
+            before = self._caps
+            tracer.instant(
+                "core.power-aware.decision",
+                cat="core",
+                step=obs.step,
+                before_sim_w=float(before[: self.n_sim].sum()),
+                before_ana_w=float(before[self.n_sim :].sum()),
+                after_sim_w=float(caps[: self.n_sim].sum()),
+                after_ana_w=float(caps[self.n_sim :].sum()),
+                pool_w=pool,
+                receivers=int(len(receivers)),
+            )
+            tracer.counter("core.reallocations", cat="core").inc()
         self._caps = caps
         return Allocation(
             sim_caps_w=caps[: self.n_sim].copy(),

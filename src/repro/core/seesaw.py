@@ -50,6 +50,7 @@ import numpy as np
 from repro.cluster.node import NodeSpec
 from repro.core.controller import PowerController, clamp_partition_totals
 from repro.core.types import Allocation, Observation
+from repro.telemetry import get_tracer
 from repro.util.stats import RunningMean
 
 __all__ = ["SeeSAwController", "optimal_split"]
@@ -184,6 +185,19 @@ class SeeSAwController(PowerController):
         total_s, total_a = clamp_partition_totals(
             new_s, new_a, self.n_sim, self.n_ana, self.node
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "core.seesaw.decision",
+                cat="core",
+                step=obs.step,
+                before_sim_w=self._prev_total_sim,
+                before_ana_w=self._prev_total_ana,
+                opt_sim_w=p_opt_s,
+                after_sim_w=total_s,
+                after_ana_w=total_a,
+            )
+            tracer.counter("core.reallocations", cat="core").inc()
         self._prev_total_sim = total_s
         self._prev_total_ana = total_a
         self.decision_log.append((obs.step, p_opt_s, total_s))

@@ -37,6 +37,7 @@ import numpy as np
 from repro.cluster.node import NodeSpec
 from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation
+from repro.telemetry import get_tracer
 
 __all__ = ["TimeAwareController"]
 
@@ -113,6 +114,21 @@ class TimeAwareController(PowerController):
         if slack > 1e-9:
             caps = np.minimum(caps + slack / len(caps), hi)
 
+        tracer = get_tracer()
+        if tracer.enabled:
+            before = self._caps
+            tracer.instant(
+                "core.time-aware.decision",
+                cat="core",
+                step=obs.step,
+                before_sim_w=float(before[: self.n_sim].sum()),
+                before_ana_w=float(before[self.n_sim :].sum()),
+                after_sim_w=float(caps[: self.n_sim].sum()),
+                after_ana_w=float(caps[self.n_sim :].sum()),
+                step_w=eta,
+                slack_w=max(slack, 0.0),
+            )
+            tracer.counter("core.reallocations", cat="core").inc()
         self._caps = caps
         return Allocation(
             sim_caps_w=caps[: self.n_sim].copy(),

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
+
+from repro.telemetry import get_tracer
 
 __all__ = ["Engine", "EventHandle", "SimulationError"]
 
@@ -73,6 +75,13 @@ class Engine:
         self._running = False
         #: number of callbacks executed; useful for complexity assertions
         self.events_executed = 0
+        # Each traced engine is a fresh trace "process": sequential runs
+        # all start their virtual clocks at 0 and must not overlap.
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
+        if self._tracer is not None:
+            tracer.bind_clock(lambda: self._now, label="des-engine")
+            tracer.name_thread(0, "des/engine")
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +134,12 @@ class Engine:
         callback = handle.callback
         handle.callback = None
         self.events_executed += 1
+        if self._tracer is not None:
+            # Callbacks are instantaneous in virtual time: a zero-width
+            # complete span keeps dispatches visible under des.run.
+            self._tracer.complete(
+                "des.dispatch", 0.0, cat="des", tid=0, seq=handle.seq
+            )
         callback()
         return True
 
@@ -133,6 +148,11 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not re-entrant")
         self._running = True
+        run_span = (
+            self._tracer.begin("des.run", cat="des", tid=0)
+            if self._tracer is not None
+            else None
+        )
         try:
             fired = 0
             while self.step():
@@ -141,6 +161,8 @@ class Engine:
                     return
         finally:
             self._running = False
+            if run_span is not None:
+                run_span.end(events=self.events_executed)
 
     def run_until(self, time: float) -> None:
         """Run events with timestamps <= ``time``; then set now = time."""

@@ -16,7 +16,7 @@ objects that ultimately reduce to these primitives.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from repro.des.engine import Engine, SimulationError
 

@@ -7,6 +7,8 @@ Usage::
     seesaw-experiments run all --jobs 8
     seesaw-experiments run fig3a --quick --cache /tmp/cells
     seesaw-experiments run all --output artifacts/ --journal run.jsonl
+    seesaw-experiments run fig8 --trace fig8-trace.json
+    seesaw-experiments trace --out trace.json --approach seesaw
 
 ``--quick`` trades statistical fidelity for speed (fewer Verlet steps,
 single run instead of median-of-3) — useful for smoke-testing.
@@ -22,11 +24,18 @@ content-addressed under ``--cache DIR`` (default
 re-running an experiment whose inputs and code are unchanged is
 near-instant; ``--journal PATH`` appends a JSONL record per cell plus
 a final summary.
+
+Tracing (see :mod:`repro.telemetry`): ``run ... --trace PATH`` records
+spans/counters from every layer of the in-process runs into a Chrome
+``trace_event`` JSON that opens in ``chrome://tracing`` / Perfetto;
+``trace`` runs a purpose-built small in-situ job under any approach
+and writes its trace plus a per-phase time/power summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import enum
 import inspect
@@ -34,6 +43,7 @@ import json
 import sys
 import time
 from pathlib import Path
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -45,6 +55,13 @@ from repro.campaign import (
     use_engine,
 )
 from repro.experiments import EXPERIMENTS
+from repro.telemetry import (
+    ChromeTraceSink,
+    Tracer,
+    summarize,
+    use_tracer,
+    validate_spans,
+)
 
 __all__ = ["main"]
 
@@ -130,6 +147,52 @@ def _build_engine(args) -> tuple[CampaignEngine, RunJournal]:
     return engine, journal
 
 
+def _cmd_trace(args) -> int:
+    """Run one small fully-instrumented in-situ job; write its trace."""
+    from repro.experiments.runner import APPROACHES, build_controller
+    from repro.insitu import InsituConfig, run_insitu
+
+    if args.approach not in APPROACHES:
+        print(
+            f"unknown approach {args.approach!r}; "
+            f"choose from {', '.join(APPROACHES)}",
+            file=sys.stderr,
+        )
+        return 2
+    cfg = InsituConfig(
+        n_sim_ranks=args.ranks,
+        n_ana_ranks=args.ranks,
+        n_verlet_steps=args.steps,
+        power_cap_w=args.budget,
+        seed=args.seed,
+    )
+    # build_controller only reads the budget/shape triple off the config
+    shape = SimpleNamespace(
+        budget_w=cfg.world_size * cfg.power_cap_w,
+        n_sim=cfg.n_sim_ranks,
+        n_ana=cfg.n_ana_ranks,
+    )
+    controller = build_controller(args.approach, shape)
+    sink = ChromeTraceSink()
+    with use_tracer(Tracer(sink)):
+        result = run_insitu(cfg, controller)
+    problems = validate_spans(sink.records)
+    if problems:
+        for p in problems:
+            print(f"malformed trace: {p}", file=sys.stderr)
+        return 1
+    path = sink.write(args.out)
+    print(summarize(sink.records).render())
+    print()
+    print(
+        f"[{args.approach}: {cfg.n_verlet_steps} steps on "
+        f"2x{args.ranks} ranks, virtual time {result.virtual_time_s:.3f} s "
+        f"-> {len(sink.records)} records in {path}]"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="seesaw-experiments",
@@ -184,6 +247,58 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="append a JSONL journal line per cell (plus a summary)",
     )
+    run_p.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the in-process runs "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a small traced in-situ job and write a Chrome trace",
+        description="Run one fully-instrumented in-situ job (real MD + "
+        "analyses on simulated MPI) and export spans from the DES, "
+        "controller, power, and in-situ layers as Chrome trace_event "
+        "JSON, plus a per-phase time/power summary.",
+    )
+    trace_p.add_argument(
+        "--out",
+        type=Path,
+        default=Path("trace.json"),
+        metavar="PATH",
+        help="output trace path (default: trace.json)",
+    )
+    trace_p.add_argument(
+        "--approach",
+        default="seesaw",
+        help="controller to trace (default: seesaw)",
+    )
+    trace_p.add_argument(
+        "--steps",
+        type=int,
+        default=6,
+        metavar="N",
+        help="Verlet steps (default: 6)",
+    )
+    trace_p.add_argument(
+        "--ranks",
+        type=int,
+        default=2,
+        metavar="N",
+        help="ranks per partition (default: 2)",
+    )
+    trace_p.add_argument(
+        "--budget",
+        type=float,
+        default=110.0,
+        metavar="W",
+        help="per-node power budget in watts (default: 110)",
+    )
+    trace_p.add_argument(
+        "--seed", type=int, default=2020, help="job seed (default: 2020)"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -191,6 +306,11 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"{name:<{width}}  {_first_doc_line(EXPERIMENTS[name])}")
         return 0
+
+    if args.command == "trace":
+        if args.steps < 1 or args.ranks < 1:
+            parser.error("--steps and --ranks must be >= 1")
+        return _cmd_trace(args)
 
     if args.runs is not None and args.runs < 1:
         parser.error("--runs must be >= 1")
@@ -210,15 +330,31 @@ def main(argv: list[str] | None = None) -> int:
     if args.runs is not None:
         overrides["n_runs"] = args.runs
 
+    trace_sink = None
+    trace_scope = contextlib.nullcontext()
+    if args.trace is not None:
+        if args.jobs > 1:
+            print(
+                "warning: --trace records in-process work only; "
+                "pool workers (--jobs > 1) are not traced",
+                file=sys.stderr,
+            )
+        trace_sink = ChromeTraceSink()
+        trace_scope = use_tracer(Tracer(trace_sink))
+
     engine, journal = _build_engine(args)
     try:
-        with use_engine(engine):
-            for name in names:
-                print(_run_one(name, overrides, args.output))
-                print()
+        with trace_scope:
+            with use_engine(engine):
+                for name in names:
+                    print(_run_one(name, overrides, args.output))
+                    print()
         journal.summary(jobs=args.jobs, experiments=names)
     finally:
         journal.close()
+    if trace_sink is not None:
+        path = trace_sink.write(args.trace)
+        print(f"[trace: {len(trace_sink.records)} records -> {path}]")
     return 0
 
 

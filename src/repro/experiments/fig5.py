@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.experiments.fig4 import StepSeries
 from repro.experiments.report import format_table, heading

@@ -17,10 +17,6 @@ across worker processes and hit the content-addressed result cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.campaign import CellSpec, get_engine
 from repro.cluster.node import THETA_NODE, NodeSpec
 from repro.core import (

@@ -32,7 +32,7 @@ the engines' measured operation counts via :mod:`repro.insitu.costs`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,7 +42,6 @@ from repro.core.controller import PowerController
 from repro.des.engine import Engine
 from repro.md import (
     DomainDecomposition,
-    ParticleSystem,
     VelocityVerlet,
     compute_thermo,
     water_ion_box,
@@ -60,6 +59,7 @@ from repro.insitu.costs import (
     SECONDS_PER_PAIR,
 )
 from repro.polimer import poli_init_power_manager, poli_power_alloc
+from repro.telemetry import get_tracer
 from repro.workloads.profiles import PHASES
 
 __all__ = ["InsituConfig", "InsituResult", "run_insitu"]
@@ -154,7 +154,12 @@ def run_insitu(
     managers: dict[int, object] = {}
     verification_failures = [0]
 
+    # The null tracer's begin/end are no-ops, so the per-sync span
+    # bookkeeping below costs a method call when tracing is off.
+    tracer = get_tracer()
+
     def sim_rank(rank: int, comm: Communicator):
+        tid = rank + 1
         pm = poli_init_power_manager(
             engine,
             comm,
@@ -181,10 +186,16 @@ def run_insitu(
         pair_rank = cfg.n_sim_ranks + rank  # world rank of paired analysis
 
         for sync in range(1, cfg.n_syncs + 1):
+            sync_span = tracer.begin(
+                "insitu.sync", cat="insitu", tid=tid, sync=sync
+            )
             # poli_power_alloc(); // synchronization  (paper §VI-C)
             yield from poli_power_alloc(pm)
 
             # steps 2-4: ship this rank's slice, rebuild, verify count
+            exchange_span = tracer.begin(
+                "insitu.exchange", cat="insitu", tid=tid
+            )
             snap = dd.snapshot(rank, step=sync)
             yield comm.send(rank, dest=pair_rank, payload=snap, tag=sync)
             yield node.compute(
@@ -193,9 +204,13 @@ def run_insitu(
             yield comm.send(
                 rank, dest=pair_rank, payload=snap.n_atoms, tag=10_000 + sync
             )
+            exchange_span.end(atoms=snap.n_atoms)
 
             n_local = snap.n_atoms
             for _ in range(cfg.j):
+                step_span = tracer.begin(
+                    "insitu.step", cat="insitu", tid=tid
+                )
                 # steps 1, 5, 6: integrate, neighbor, force
                 report = integrator.step()
                 yield node.compute(
@@ -234,12 +249,15 @@ def run_insitu(
                         density=record.density,
                     )
                     thermo_out.append(record)
+                step_span.end()
             if rank == 0 and cfg.dump_path is not None:
                 # step 8: optional output of the simulation state
                 write_lammps_dump(cfg.dump_path, system, step=sync)
+            sync_span.end()
         return None
 
     def ana_rank(rank: int, comm: Communicator):
+        tid = rank + 1
         pm = poli_init_power_manager(
             engine,
             comm,
@@ -259,8 +277,14 @@ def run_insitu(
         pair_rank = local  # world rank of paired simulation rank
 
         for sync in range(1, cfg.n_syncs + 1):
+            sync_span = tracer.begin(
+                "insitu.sync", cat="insitu", tid=tid, sync=sync
+            )
             yield from poli_power_alloc(pm)
 
+            exchange_span = tracer.begin(
+                "insitu.exchange", cat="insitu", tid=tid
+            )
             snap = yield comm.recv(rank, source=pair_rank, tag=sync)
             count = yield comm.recv(
                 rank, source=pair_rank, tag=10_000 + sync
@@ -268,16 +292,22 @@ def run_insitu(
             if count != snap.n_atoms:  # step-4 verification
                 verification_failures[0] += 1
             slices = yield pm.part_comm.allgather(pm.part_rank, snap)
+            exchange_span.end(atoms=snap.n_atoms)
             frame = _merge_slices(
                 slices, box_lengths, time=sync * cfg.j * cfg.dt
             )
             # step 7: run the analyses, charging measured work
             for a in analyses:
+                analysis_span = tracer.begin(
+                    f"insitu.analysis.{a.name}", cat="insitu", tid=tid
+                )
                 a.update(frame)
                 yield node.compute(
                     ANALYSIS_KIND[a.name],
                     a.work_estimate * SECONDS_PER_ANALYSIS_OP[a.name],
                 )
+                analysis_span.end()
+            sync_span.end()
         if local == 0:
             for a in analyses:
                 analysis_out[a.name] = a.result()

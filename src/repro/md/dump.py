@@ -14,9 +14,8 @@ Two formats:
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import TextIO
 
 import numpy as np
 

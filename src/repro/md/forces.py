@@ -22,9 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.md.box import Box
 from repro.md.neighbor import NeighborList
-from repro.md.system import CHARGES, ParticleSystem, Species
+from repro.md.system import CHARGES, ParticleSystem
 
 __all__ = ["ForceField", "ForceResult"]
 

@@ -23,7 +23,7 @@ containers; logical tests with ``ZeroCost`` never look at it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 

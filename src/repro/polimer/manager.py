@@ -34,12 +34,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.node import NodeSpec
 from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation, PartitionMeasurement
 from repro.des.engine import Engine
 from repro.mpi.comm import Communicator
 from repro.polimer.noderuntime import NodeRuntime
+from repro.telemetry import get_tracer
 from repro.util.rng import RngStream
 
 __all__ = ["PowerManager"]
@@ -97,6 +97,15 @@ class PowerManager:
         self._last_entry_t = engine.now
         self._last_entry_e = node_runtime.energy_counter_j()
         self._sync_index = 0
+        # one trace lane per rank; lane 0 belongs to the engine
+        self._trace_tid = rank + 1
+        self._syncs_seen = 0  # per-rank (rank 0's _sync_index is global)
+        node_runtime.trace_tid = self._trace_tid
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
+        if self._tracer is not None:
+            part = "sim" if master == 0 else "ana"
+            self._tracer.name_thread(self._trace_tid, f"{part} rank {rank}")
         #: allocation history (world rank 0 only): (step, Allocation)
         self.allocation_log: list[tuple[int, Allocation]] = []
         #: per-sync observations (world rank 0 only)
@@ -140,6 +149,21 @@ class PowerManager:
         now = self.engine.now
         work_time = now - self._last_release
         epoch_time = now - self._last_entry_t
+        # the span opens at *arrival* and closes at the bcast release:
+        # exactly the sync-point wait SeeSAw's instrumentation excludes
+        # from its work-time signal
+        self._syncs_seen += 1
+        span = (
+            self._tracer.begin(
+                "insitu.sync_wait",
+                cat="insitu",
+                tid=self._trace_tid,
+                sync=self._syncs_seen,
+                work_time_s=work_time,
+            )
+            if self._tracer is not None
+            else None
+        )
         energy = self.node.energy_counter_j()
         interval = max(now - self._last_entry_t, 1e-12)
         power = (energy - self._last_entry_e) / interval
@@ -170,6 +194,9 @@ class PowerManager:
         if result is not None:
             sim_caps, ana_caps = result
             self.node.request_cap(self._my_cap(sim_caps, ana_caps))
+        if span is not None:
+            span.end(wait_s=self.engine.now - now)
+            self._tracer.counter("insitu.sync_waits", cat="insitu").inc()
         # measurement interval restarts at the release of the bcast
         self._last_release = self.engine.now
         self._last_entry_t = self.engine.now

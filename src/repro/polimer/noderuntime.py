@@ -15,14 +15,12 @@ node). Provides:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cluster.node import NodeSpec
 from repro.des.engine import Engine
-from repro.des.process import Delay
 from repro.power.execution import execute_phase
 from repro.power.model import PhaseKind
 from repro.power.rapl import CapMode, RaplDomainArray
+from repro.telemetry import get_tracer
 
 __all__ = ["NodeRuntime"]
 
@@ -51,6 +49,10 @@ class NodeRuntime:
         self._busy_s = 0.0
         self._created_at = engine.now
         self._counter_cache: tuple[float, float] | None = None
+        #: trace lane for this node's phase spans (rank + 1; 0 = engine)
+        self.trace_tid = 0
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
 
     # ------------------------------------------------------------------
     def compute(self, kind: PhaseKind, work_s: float, noise: float = 1.0):
@@ -73,8 +75,29 @@ class NodeRuntime:
                     noise_factors=noise,
                 )
                 duration = outcome.slowest
-                runtime._compute_energy_j += float(outcome.energy_joules[0])
+                energy_j = float(outcome.energy_joules[0])
+                runtime._compute_energy_j += energy_j
                 runtime._busy_s += duration
+                tracer = runtime._tracer
+                if tracer is not None:
+                    cap_w = runtime.current_cap_w
+                    limited = cap_w < float(
+                        kind.demand(runtime.node, runtime.node.f_turbo)
+                    )
+                    tracer.complete(
+                        f"phase.{kind.name}",
+                        duration,
+                        cat="power",
+                        tid=runtime.trace_tid,
+                        ts=runtime.engine.now,
+                        energy_j=energy_j,
+                        cap_w=cap_w,
+                        limited=limited,
+                    )
+                    if limited:
+                        tracer.counter(
+                            "power.limited_phases", cat="power"
+                        ).inc()
                 runtime.engine.schedule(
                     duration, lambda: process._advance(duration)
                 )

@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster.node import NodeSpec
+from repro.telemetry import get_tracer
 from repro.util.units import MS
 
 __all__ = ["CapMode", "RaplDomainArray"]
@@ -95,6 +96,10 @@ class RaplDomainArray:
         self._pending: Optional[tuple[float, np.ndarray]] = None
         #: diagnostic: number of accepted cap requests
         self.requests = 0
+        # cached: segment_at/_apply_pending sit inside the phase
+        # executor's integration loop
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
 
     # ------------------------------------------------------------------
     def _clamp(self, caps: np.ndarray) -> np.ndarray:
@@ -118,13 +123,35 @@ class RaplDomainArray:
         )
         self._pending = (now + self.actuation_delay_s, caps)
         self.requests += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "power.rapl.request",
+                cat="power",
+                ts=now,
+                mean_cap_w=float(caps.mean()),
+                n_nodes=self.n_nodes,
+                effective_at=now + self.actuation_delay_s,
+            )
+            self._tracer.counter("power.caps_requested", cat="power").inc()
         return caps.copy()
 
     # ------------------------------------------------------------------
     def _apply_pending(self, t: float) -> None:
         if self._pending is not None and t >= self._pending[0]:
-            self._caps = self._pending[1]
+            t_act, caps = self._pending
+            self._caps = caps
             self._pending = None
+            if self._tracer is not None:
+                # stamped at the actuation time, not the query time, so
+                # the trace shows when RAPL actually switched registers
+                self._tracer.instant(
+                    "power.rapl.apply",
+                    cat="power",
+                    ts=t_act,
+                    mean_cap_w=float(caps.mean()),
+                    n_nodes=self.n_nodes,
+                )
+                self._tracer.counter("power.caps_applied", cat="power").inc()
 
     def segment_at(self, t: float) -> tuple[np.ndarray, float]:
         """Enforced caps at time ``t`` and when they next change.

@@ -43,14 +43,12 @@ import numpy as np
 from repro.cluster.machine import MachineSpec, theta
 from repro.cluster.noise import NoiseConfig, NoiseModel
 from repro.core.controller import PowerController
-from repro.core.types import Allocation, Observation, PartitionMeasurement
+from repro.core.types import Observation, PartitionMeasurement
 from repro.power.execution import execute_phase
 from repro.power.rapl import CapMode, RaplDomainArray
 from repro.power.trace import PowerTrace
 from repro.util.rng import RngStream
 from repro.workloads.profiles import (
-    SETUP_OVERHEAD_FACTOR,
-    SETUP_OVERHEAD_STEPS,
     WorkPhase,
     analysis_work_phases,
     sim_step_phases,

@@ -53,3 +53,59 @@ def test_all_hits():
     assert not j.all_hits  # vacuously false: nothing scheduled
     j.cell("k", "l", "hit", 0.0)
     assert j.all_hits
+
+
+# --------------------------------------------------------- crash tolerance
+def test_append_repairs_truncated_final_line(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.cell("a", "a", "done", 0.1)
+        j.cell("b", "b", "done", 0.1)
+    # simulate a crash mid-write: a partial record with no newline
+    with path.open("a") as fh:
+        fh.write('{"event": "cell", "key": "trunc')
+    with RunJournal(path) as j:
+        j.cell("c", "c", "done", 0.1)
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [r["key"] for r in records] == ["a", "b", "c"]
+
+
+def test_append_repairs_file_that_is_one_partial_line(tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_text('{"event": "cel')  # no newline anywhere
+    with RunJournal(path) as j:
+        j.cell("a", "a", "done", 0.1)
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [r["key"] for r in records] == ["a"]
+
+
+def test_append_keeps_complete_file_intact(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.cell("a", "a", "done", 0.1)
+    before = path.read_text()
+    with RunJournal(path) as j:
+        pass  # re-open for append, write nothing
+    assert path.read_text() == before
+
+
+def test_repair_scans_past_chunk_boundary(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.cell("a", "a", "done", 0.1)
+    # partial tail longer than the 4 KiB backwards-scan chunk
+    with path.open("a") as fh:
+        fh.write('{"pad": "' + "x" * 10_000)
+    with RunJournal(path) as j:
+        j.cell("b", "b", "done", 0.1)
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [r["key"] for r in records] == ["a", "b"]
+
+
+def test_every_record_is_durable_before_close(tmp_path):
+    path = tmp_path / "run.jsonl"
+    j = RunJournal(path)
+    j.cell("a", "a", "done", 0.1)
+    # flushed (and fsynced) per record: visible before close()
+    assert json.loads(path.read_text().splitlines()[0])["key"] == "a"
+    j.close()

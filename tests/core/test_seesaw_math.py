@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.node import THETA_NODE, NodeSpec
+from repro.cluster.node import THETA_NODE
 from repro.core import Observation, PartitionMeasurement, SeeSAwController
 from repro.core.seesaw import optimal_split
 

@@ -1,6 +1,5 @@
 """Stress and ordering guarantees of the DES engine under heavy load."""
 
-import numpy as np
 
 from repro.des import Delay, Engine, Process, SimEvent
 from repro.util.rng import RngStream

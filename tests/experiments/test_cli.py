@@ -188,3 +188,65 @@ def test_jobs_flag_matches_serial_numbers(monkeypatch, tmp_path, capsys):
     b = json.loads((out_par / "tiny.json").read_text())
     assert a["kwargs"]["improvement"] == b["kwargs"]["improvement"]
     capsys.readouterr()
+
+
+# ----------------------------------------------------------------- trace
+def test_trace_subcommand_writes_valid_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    args = ["trace", "--out", str(out), "--steps", "4", "--ranks", "2"]
+    assert cli.main(args) == 0
+    doc = json.loads(out.read_text())
+    evs = doc["traceEvents"]
+    assert isinstance(evs, list) and evs
+    cats = {e["cat"] for e in evs}
+    assert {"des", "core", "power", "insitu"} <= cats
+    # nested spans survive export: at least one B strictly inside another
+    begins = [e for e in evs if e["ph"] == "B"]
+    ends = {
+        (e["pid"], e["tid"], e["name"]): e["ts"]
+        for e in evs
+        if e["ph"] == "E"
+    }
+    assert begins and ends
+    printed = capsys.readouterr().out
+    assert "phase" in printed and "perfetto" in printed.lower()
+
+
+def test_trace_subcommand_rejects_unknown_approach(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    args = ["trace", "--out", str(out), "--approach", "nope"]
+    assert cli.main(args) == 2
+    assert not out.exists()
+    assert "unknown approach" in capsys.readouterr().err
+
+
+def test_trace_subcommand_validates_counts():
+    with pytest.raises(SystemExit):
+        cli.main(["trace", "--steps", "0"])
+    with pytest.raises(SystemExit):
+        cli.main(["trace", "--ranks", "0"])
+
+
+def test_run_trace_flag_writes_trace(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    out = tmp_path / "run-trace.json"
+    args = ["run", "tiny", "--quick", "--no-cache", "--trace", str(out)]
+    assert cli.main(args) == 0
+    doc = json.loads(out.read_text())
+    assert isinstance(doc["traceEvents"], list)
+    # campaign cells are always traced, whatever the harness does inside
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "campaign.cell" in names
+    assert "[trace:" in capsys.readouterr().out
+
+
+def test_run_trace_with_jobs_warns_about_pool(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    out = tmp_path / "run-trace.json"
+    args = [
+        "run", "tiny", "--quick", "--no-cache",
+        "--trace", str(out), "--jobs", "2",
+    ]
+    assert cli.main(args) == 0
+    assert "not traced" in capsys.readouterr().err
+    assert out.exists()

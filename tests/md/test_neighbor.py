@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.md.box import Box
 from repro.md.neighbor import (
-    NeighborList,
     _pairs_bruteforce,
     _pairs_within,
     build_neighbor_list,

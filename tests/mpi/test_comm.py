@@ -258,7 +258,7 @@ def test_p2p_cost_delays_delivery():
         if rank == 0:
             yield comm.send(0, dest=1, payload="x")
             return None
-        got = yield comm.recv(1)
+        yield comm.recv(1)
         return comm.engine.now
 
     _, results = run_world(2, main, cost=SlowWire())

@@ -4,7 +4,7 @@ sendrecv, dup."""
 import pytest
 
 from repro.des import Delay, Engine, SimulationError
-from repro.mpi import MpiWorld, Request, ZeroCost
+from repro.mpi import MpiWorld, ZeroCost
 
 
 def run_world(size, main, cost=None):

@@ -13,11 +13,7 @@ from repro.cluster.node import THETA_NODE
 from repro.core import StaticController
 from repro.des import Engine
 from repro.mpi import MpiWorld
-from repro.polimer import (
-    PowerManager,
-    poli_init_power_manager,
-    poli_power_alloc,
-)
+from repro.polimer import poli_init_power_manager, poli_power_alloc
 
 
 def test_init_signature_mirrors_paper_order():
@@ -87,7 +83,6 @@ def test_initial_caps_installed_at_init():
             controller=ctl if rank == 0 else None,
         )
         yield from pm.initialize()
-        eng_now = eng.now
         yield comm.barrier(rank)
         # actuation delay has passed after the barrier round-trips
         from repro.des import Delay

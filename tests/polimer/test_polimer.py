@@ -1,11 +1,10 @@
 """Tests for the PoLiMER layer: node runtime + distributed manager."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.node import THETA_NODE
 from repro.core import SeeSAwController, StaticController
-from repro.des import Delay, Engine
+from repro.des import Engine
 from repro.mpi import MpiWorld
 from repro.polimer import (
     NodeRuntime,

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.node import THETA_NODE
 from repro.power.execution import execute_phase, wait_energy
 from repro.power.model import PhaseKind, operating_point
-from repro.power.rapl import CapMode, RaplDomainArray
+from repro.power.rapl import RaplDomainArray
 
 COMPUTE = PhaseKind("force", k_watts=85.0, gamma=2.0, beta=1.0)
 COMM = PhaseKind("comm", k_watts=38.0, gamma=0.1, beta=0.05)

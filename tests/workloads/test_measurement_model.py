@@ -1,6 +1,5 @@
 """Tests for the proxy's measurement model (leak, epochs, power)."""
 
-import numpy as np
 import pytest
 
 from repro.workloads.lammps_proxy import attribution_leak

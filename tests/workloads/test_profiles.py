@@ -1,13 +1,10 @@
 """Tests for the workload profiles and their paper-anchored properties."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.node import THETA_NODE
 from repro.power.model import operating_point
 from repro.workloads.profiles import (
-    ANCHOR_ANA_NODES,
-    ANCHOR_SIM_NODES,
     PHASES,
     analysis_work_phases,
     atoms_total,

@@ -6,7 +6,6 @@ from repro.cluster.node import THETA_NODE
 from repro.workloads import JobConfig
 from repro.workloads.profiles import PHASES, WorkPhase
 from repro.workloads.time_shared import (
-    TimeSharedResult,
     run_time_shared_job,
     segment_saturation_w,
 )
