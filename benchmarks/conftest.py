@@ -15,11 +15,15 @@ without touching any benchmark:
 
 * ``SEESAW_BENCH_JOBS=N``  — run each harness's cells on N workers;
 * ``SEESAW_BENCH_CACHE=DIR`` — reuse cell results across invocations
-  (content-addressed; a code edit invalidates the cache).
+  (content-addressed; a code edit invalidates the cache);
+* ``SEESAW_BENCH_METRICS=PATH`` — additionally collect streaming
+  metrics (see :mod:`repro.metrics`) over the in-process harness runs
+  and write one merged report to PATH at session end (``.json`` →
+  JSON, otherwise Prometheus text).
 
-Both unset (the default, and what CI uses) keeps the historical
+All unset (the default, and what CI uses) keeps the historical
 serial in-process behaviour — and identical numbers either way, since
-cells are deterministic.
+cells are deterministic and the metrics layer never perturbs a run.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from pathlib import Path
 import pytest
 
 from repro.campaign import CampaignEngine, CellStore, use_engine
+from repro.metrics import MetricRegistry, use_metrics
 
 
 def _engine_from_env() -> CampaignEngine | None:
@@ -41,16 +46,40 @@ def _engine_from_env() -> CampaignEngine | None:
     return CampaignEngine(jobs=max(jobs, 1), store=store)
 
 
+#: session-wide registry when SEESAW_BENCH_METRICS is set (one report
+#: aggregated across every benchmark in the session)
+_METRICS_REGISTRY: MetricRegistry | None = (
+    MetricRegistry() if os.environ.get("SEESAW_BENCH_METRICS") else None
+)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_metrics_report():
+    yield
+    if _METRICS_REGISTRY is not None:
+        path = Path(os.environ["SEESAW_BENCH_METRICS"])
+        _METRICS_REGISTRY.report().write(path)
+        print(f"\n[benchmark metrics report -> {path}]")
+
+
 def regenerate(benchmark, fn, **kwargs):
     """Run ``fn(**kwargs)`` once under the benchmark timer and return
     its result."""
     engine = _engine_from_env()
 
     def _call():
-        if engine is None:
-            return fn(**kwargs)
-        with use_engine(engine):
-            return fn(**kwargs)
+        import contextlib
+
+        scope = (
+            use_metrics(_METRICS_REGISTRY)
+            if _METRICS_REGISTRY is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            if engine is None:
+                return fn(**kwargs)
+            with use_engine(engine):
+                return fn(**kwargs)
 
     result = benchmark.pedantic(
         _call, iterations=1, rounds=1, warmup_rounds=0

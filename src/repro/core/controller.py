@@ -19,21 +19,26 @@ import numpy as np
 
 from repro.cluster.node import NodeSpec
 from repro.core.types import Allocation, Observation
+from repro.metrics.audit import get_audit
+from repro.metrics.registry import get_metrics
 
-__all__ = ["PowerController", "clamp_partition_totals"]
+__all__ = ["PowerController", "clamp_partition_totals", "clamp_totals"]
 
 
-def clamp_partition_totals(
+def clamp_totals(
     total_sim_w: float,
     total_ana_w: float,
     n_sim: int,
     n_ana: int,
-    node: NodeSpec,
+    lo: float,
+    hi: float,
 ) -> tuple[float, float]:
     """Apply the paper's δ_min/δ_max rule to partition power totals.
 
-    Returns adjusted ``(total_sim, total_ana)`` such that per-node caps
-    lie in ``[rapl_min, tdp]`` wherever the budget permits. The budget
+    Pure primitive over explicit per-node bounds ``[lo, hi]`` — this is
+    what the audit replayer re-executes. Returns adjusted
+    ``(total_sim, total_ana)`` such that per-node caps lie in
+    ``[lo, hi]`` wherever the budget permits. The budget
     ``total_sim + total_ana`` is preserved exactly when feasible; when
     the budget itself is outside the machine's feasible envelope the
     nearest feasible allocation is returned.
@@ -41,7 +46,6 @@ def clamp_partition_totals(
     if n_sim <= 0 or n_ana <= 0:
         raise ValueError("both partitions need nodes")
     budget = total_sim_w + total_ana_w
-    lo, hi = node.rapl_min_watts, node.tdp_watts
 
     feasible_lo = (n_sim + n_ana) * lo
     feasible_hi = (n_sim + n_ana) * hi
@@ -70,6 +74,25 @@ def clamp_partition_totals(
         total_s = budget - hi * n_ana
 
     return clamped(total_s)
+
+
+def clamp_partition_totals(
+    total_sim_w: float,
+    total_ana_w: float,
+    n_sim: int,
+    n_ana: int,
+    node: NodeSpec,
+) -> tuple[float, float]:
+    """δ-clamping against a node's hardware envelope (see
+    :func:`clamp_totals`)."""
+    return clamp_totals(
+        total_sim_w,
+        total_ana_w,
+        n_sim,
+        n_ana,
+        node.rapl_min_watts,
+        node.tdp_watts,
+    )
 
 
 class PowerController(abc.ABC):
@@ -126,6 +149,32 @@ class PowerController(abc.ABC):
             sim_caps_w=np.full(self.n_sim, total_s / self.n_sim),
             ana_caps_w=np.full(self.n_ana, total_a / self.n_ana),
         )
+
+    # ------------------------------------------------------------------
+    # audit / metrics hooks (no-ops unless a journal/registry is
+    # installed via use_audit()/use_metrics())
+
+    def _audit_init(self, alloc: Allocation) -> None:
+        """Record the initial allocation in the ambient audit journal."""
+        audit = get_audit()
+        if audit.enabled:
+            audit.record_init(
+                self.name,
+                float(alloc.sim_caps_w.sum()),
+                float(alloc.ana_caps_w.sum()),
+            )
+
+    def _audit_observe(self, obs: Observation) -> None:
+        """Record one synchronization's measurement as the controller
+        saw it, and feed the slack histogram."""
+        audit = get_audit()
+        if audit.enabled:
+            audit.record_observation(self.name, obs)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.histogram("core.sync.slack_s").observe(
+                abs(obs.sim.work_time_s - obs.ana.work_time_s)
+            )
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

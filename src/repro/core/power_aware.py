@@ -30,9 +30,52 @@ import numpy as np
 from repro.cluster.node import NodeSpec
 from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation
+from repro.metrics.audit import get_audit
 from repro.telemetry import get_tracer
 
-__all__ = ["PowerAwareController"]
+__all__ = ["PowerAwareController", "redistribute_caps"]
+
+
+def redistribute_caps(
+    caps: np.ndarray,
+    mean_power: np.ndarray,
+    lo: float,
+    hi: float,
+    at_cap_margin_w: float,
+    reclaim_margin_w: float,
+) -> tuple[np.ndarray, float, int] | None:
+    """One power-aware redistribution as a pure function of its inputs.
+
+    The unit the audit journal records and replays. Returns
+    ``(new_caps, pool_w, n_receivers)`` or ``None`` when the scheme
+    holds (no node at its cap, or nothing to reclaim). ``caps`` is not
+    mutated.
+    """
+    caps = caps.copy()
+    at_cap = mean_power >= caps - at_cap_margin_w
+    below = ~at_cap
+    if not np.any(at_cap):
+        return None  # "only takes action if nodes are at the cap"
+    if not np.any(below):
+        return None  # nothing to reclaim
+
+    # Reclaim headroom from under-consuming nodes (not below δ_min).
+    donor_new = np.maximum(mean_power + reclaim_margin_w, lo)
+    donor_new = np.minimum(donor_new, caps)  # donors never gain here
+    pool = float(np.sum((caps - donor_new)[below]))
+    caps[below] = donor_new[below]
+
+    # Divide the pool evenly among nodes that require more power,
+    # clamping at δ_max; whatever cannot be placed is returned
+    # evenly to every node (budget conservation).
+    receivers = np.where(at_cap)[0]
+    share = pool / len(receivers)
+    gained = np.minimum(caps[receivers] + share, hi) - caps[receivers]
+    caps[receivers] += gained
+    leftover = pool - float(gained.sum())
+    if leftover > 1e-9:
+        caps = np.minimum(caps + leftover / len(caps), hi)
+    return caps, pool, int(len(receivers))
 
 
 class PowerAwareController(PowerController):
@@ -69,9 +112,11 @@ class PowerAwareController(PowerController):
     def initial_allocation(self) -> Allocation:
         alloc = self.even_split()
         self._caps = np.concatenate([alloc.sim_caps_w, alloc.ana_caps_w])
+        self._audit_init(alloc)
         return alloc
 
     def observe(self, obs: Observation) -> Allocation | None:
+        self._audit_observe(obs)
         measured = np.concatenate([obs.sim.node_power_w, obs.ana.node_power_w])
         self._power_acc.append(measured)
         if len(self._power_acc) < self.window:
@@ -80,35 +125,47 @@ class PowerAwareController(PowerController):
         self._power_acc.clear()
 
         assert self._caps is not None
-        caps = self._caps.copy()
         lo, hi = self.node.rapl_min_watts, self.node.tdp_watts
-
-        at_cap = mean_power >= caps - self.at_cap_margin_w
-        below = ~at_cap
-        if not np.any(at_cap):
-            return None  # "only takes action if nodes are at the cap"
-        if not np.any(below):
-            return None  # nothing to reclaim
-
-        # Reclaim headroom from under-consuming nodes (not below δ_min).
-        donor_new = np.maximum(
-            mean_power + self.reclaim_margin_w, lo
+        decided = redistribute_caps(
+            self._caps,
+            mean_power,
+            lo,
+            hi,
+            self.at_cap_margin_w,
+            self.reclaim_margin_w,
         )
-        donor_new = np.minimum(donor_new, caps)  # donors never gain here
-        pool = float(np.sum((caps - donor_new)[below]))
-        caps[below] = donor_new[below]
+        if decided is None:
+            return None
+        caps, pool, n_receivers = decided
 
-        # Divide the pool evenly among nodes that require more power,
-        # clamping at δ_max; whatever cannot be placed is returned
-        # evenly to every node (budget conservation).
-        receivers = np.where(at_cap)[0]
-        share = pool / len(receivers)
-        gained = np.minimum(caps[receivers] + share, hi) - caps[receivers]
-        caps[receivers] += gained
-        leftover = pool - float(gained.sum())
-        if leftover > 1e-9:
-            caps = np.minimum(caps + leftover / len(caps), hi)
-
+        audit = get_audit()
+        if audit.enabled:
+            before = self._caps
+            audit.record_decision(
+                self.name,
+                obs.step,
+                before=(
+                    float(before[: self.n_sim].sum()),
+                    float(before[self.n_sim :].sum()),
+                ),
+                after=(
+                    float(caps[: self.n_sim].sum()),
+                    float(caps[self.n_sim :].sum()),
+                ),
+                inputs={
+                    "caps_w": before.tolist(),
+                    "mean_power_w": mean_power.tolist(),
+                    "lo_w": lo,
+                    "hi_w": hi,
+                    "at_cap_margin_w": self.at_cap_margin_w,
+                    "reclaim_margin_w": self.reclaim_margin_w,
+                    "n_sim": self.n_sim,
+                },
+                after_caps={
+                    "sim": caps[: self.n_sim].tolist(),
+                    "ana": caps[self.n_sim :].tolist(),
+                },
+            )
         tracer = get_tracer()
         if tracer.enabled:
             before = self._caps
@@ -121,7 +178,7 @@ class PowerAwareController(PowerController):
                 after_sim_w=float(caps[: self.n_sim].sum()),
                 after_ana_w=float(caps[self.n_sim :].sum()),
                 pool_w=pool,
-                receivers=int(len(receivers)),
+                receivers=n_receivers,
             )
             tracer.counter("core.reallocations", cat="core").inc()
         self._caps = caps

@@ -48,12 +48,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.node import NodeSpec
-from repro.core.controller import PowerController, clamp_partition_totals
+from repro.core.controller import PowerController, clamp_totals
 from repro.core.types import Allocation, Observation
+from repro.metrics.audit import get_audit
 from repro.telemetry import get_tracer
 from repro.util.stats import RunningMean
 
-__all__ = ["SeeSAwController", "optimal_split"]
+__all__ = ["SeeSAwController", "decide_totals", "optimal_split"]
 
 
 def optimal_split(
@@ -71,6 +72,56 @@ def optimal_split(
     alpha_a = 1.0 / (t_ana * p_ana)
     p_opt_s = budget_w * alpha_a / (alpha_s + alpha_a)
     return p_opt_s, budget_w - p_opt_s
+
+
+def decide_totals(
+    t_sim_s: float,
+    p_sim_w: float,
+    t_ana_s: float,
+    p_ana_w: float,
+    budget_w: float,
+    prev_sim_w: float,
+    prev_ana_w: float,
+    feedback: str,
+    damping: str,
+    n_sim: int,
+    n_ana: int,
+    lo_w: float,
+    hi_w: float,
+) -> tuple[float, float, float]:
+    """One complete SeeSAw decision (Eqs. 1–4 plus the δ clamp) as a
+    pure function of its inputs.
+
+    This is the unit the audit journal records and replays: given the
+    windowed measurements and the previous allocation it returns
+    ``(P_opt_sim, total_sim, total_ana)`` deterministically.
+    :meth:`SeeSAwController.observe` delegates here, so a recorded
+    decision and its replay run the identical arithmetic.
+    """
+    # Eqs. 1–2 (the "time" ablation drops power from Eq. 1).
+    if feedback == "energy":
+        p_opt_s, p_opt_a = optimal_split(
+            t_sim_s, p_sim_w, t_ana_s, p_ana_w, budget_w
+        )
+    else:
+        p_opt_s, p_opt_a = optimal_split(t_sim_s, 1.0, t_ana_s, 1.0, budget_w)
+
+    if damping == "ewma":
+        # Eqs. 3–4 (EWMA against the previous *allocation*).
+        r_s = p_opt_s / budget_w
+        r_a = p_opt_a / budget_w
+        new_s = r_s * p_opt_s + (1.0 - r_s) * prev_sim_w
+        new_a = r_a * p_opt_a + (1.0 - r_a) * prev_ana_w
+        # Budget conservation: the two EWMA steps are independent,
+        # so renormalize onto the budget before clamping.
+        scale = budget_w / (new_s + new_a)
+        new_s *= scale
+        new_a *= scale
+    else:
+        new_s, new_a = p_opt_s, p_opt_a
+
+    total_s, total_a = clamp_totals(new_s, new_a, n_sim, n_ana, lo_w, hi_w)
+    return p_opt_s, total_s, total_a
 
 
 class SeeSAwController(PowerController):
@@ -138,9 +189,11 @@ class SeeSAwController(PowerController):
             )
         self._prev_total_sim = float(alloc.sim_caps_w.sum())
         self._prev_total_ana = float(alloc.ana_caps_w.sum())
+        self._audit_init(alloc)
         return alloc
 
     def observe(self, obs: Observation) -> Allocation | None:
+        self._audit_observe(obs)
         # Accumulate this synchronization into the window.
         self._t_sim.add(obs.sim.work_time_s)
         self._p_sim.add(obs.sim.total_power_w)
@@ -157,34 +210,56 @@ class SeeSAwController(PowerController):
         if min(t_s, p_s, t_a, p_a) <= 0:
             return None  # degenerate measurement; hold
 
-        # Eqs. 1–2 (the "time" ablation drops power from Eq. 1).
-        if self.feedback == "energy":
-            p_opt_s, p_opt_a = optimal_split(
-                t_s, p_s, t_a, p_a, self.budget_w
-            )
-        else:
-            p_opt_s, p_opt_a = optimal_split(
-                t_s, 1.0, t_a, 1.0, self.budget_w
-            )
-
         assert self._prev_total_sim is not None
-        if self.damping == "ewma":
-            # Eqs. 3–4 (EWMA against the previous *allocation*).
-            r_s = p_opt_s / self.budget_w
-            r_a = p_opt_a / self.budget_w
-            new_s = r_s * p_opt_s + (1.0 - r_s) * self._prev_total_sim
-            new_a = r_a * p_opt_a + (1.0 - r_a) * self._prev_total_ana
-            # Budget conservation: the two EWMA steps are independent,
-            # so renormalize onto the budget before clamping.
-            scale = self.budget_w / (new_s + new_a)
-            new_s *= scale
-            new_a *= scale
-        else:
-            new_s, new_a = p_opt_s, p_opt_a
-
-        total_s, total_a = clamp_partition_totals(
-            new_s, new_a, self.n_sim, self.n_ana, self.node
+        assert self._prev_total_ana is not None
+        lo, hi = self.node.rapl_min_watts, self.node.tdp_watts
+        p_opt_s, total_s, total_a = decide_totals(
+            t_s,
+            p_s,
+            t_a,
+            p_a,
+            self.budget_w,
+            self._prev_total_sim,
+            self._prev_total_ana,
+            self.feedback,
+            self.damping,
+            self.n_sim,
+            self.n_ana,
+            lo,
+            hi,
         )
+        audit = get_audit()
+        if audit.enabled:
+            # Predicted post-decision slack from the linear model
+            # T' = 1/(α·P'): each partition's predicted time under its
+            # new total, using this round's α estimates (the "time"
+            # ablation's α drops the measured power, exactly as Eq. 1).
+            w_s = p_s if self.feedback == "energy" else 1.0
+            w_a = p_a if self.feedback == "energy" else 1.0
+            pred_t_s = t_s * w_s / total_s
+            pred_t_a = t_a * w_a / total_a
+            audit.record_decision(
+                self.name,
+                obs.step,
+                before=(self._prev_total_sim, self._prev_total_ana),
+                after=(total_s, total_a),
+                inputs={
+                    "t_sim_s": t_s,
+                    "p_sim_w": p_s,
+                    "t_ana_s": t_a,
+                    "p_ana_w": p_a,
+                    "budget_w": self.budget_w,
+                    "prev_sim_w": self._prev_total_sim,
+                    "prev_ana_w": self._prev_total_ana,
+                    "feedback": self.feedback,
+                    "damping": self.damping,
+                    "n_sim": self.n_sim,
+                    "n_ana": self.n_ana,
+                    "lo_w": lo,
+                    "hi_w": hi,
+                },
+                predicted_slack_s=abs(pred_t_s - pred_t_a),
+            )
         tracer = get_tracer()
         if tracer.enabled:
             tracer.instant(

@@ -42,15 +42,21 @@ class StaticController(PowerController):
 
     def initial_allocation(self) -> Allocation:
         if self.sim_share == 0.5:
-            return self.even_split()
-        # Unbalanced start (Fig. 7): per-node caps in the requested
-        # ratio, scaled to exhaust the budget.
-        per_sim = 2.0 * self.sim_share
-        per_ana = 2.0 * (1.0 - self.sim_share)
-        unit = self.budget_w / (per_sim * self.n_sim + per_ana * self.n_ana)
-        return self._even_allocation(
-            per_sim * unit * self.n_sim, per_ana * unit * self.n_ana
-        )
+            alloc = self.even_split()
+        else:
+            # Unbalanced start (Fig. 7): per-node caps in the requested
+            # ratio, scaled to exhaust the budget.
+            per_sim = 2.0 * self.sim_share
+            per_ana = 2.0 * (1.0 - self.sim_share)
+            unit = self.budget_w / (
+                per_sim * self.n_sim + per_ana * self.n_ana
+            )
+            alloc = self._even_allocation(
+                per_sim * unit * self.n_sim, per_ana * unit * self.n_ana
+            )
+        self._audit_init(alloc)
+        return alloc
 
     def observe(self, obs: Observation) -> Allocation | None:
+        self._audit_observe(obs)
         return None  # static: never reallocates

@@ -37,9 +37,48 @@ import numpy as np
 from repro.cluster.node import NodeSpec
 from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation
+from repro.metrics.audit import get_audit
 from repro.telemetry import get_tracer
 
-__all__ = ["TimeAwareController"]
+__all__ = ["TimeAwareController", "balance_caps"]
+
+
+def balance_caps(
+    caps: np.ndarray,
+    times: np.ndarray,
+    eta: float,
+    reactivity: float,
+    budget_w: float,
+    lo: float,
+    hi: float,
+) -> tuple[np.ndarray, float]:
+    """One time-aware balancing step as a pure function of its inputs.
+
+    The unit the audit journal records and replays: ``eta`` is the
+    (already decayed-from) power step for this invocation. Returns
+    ``(new_caps, slack_w)``; ``caps`` is not mutated.
+    """
+    caps = caps.copy()
+    target = (1.0 - reactivity) * float(times.max())
+    fast = times < target
+    slow = ~fast
+
+    if np.any(fast) and np.any(slow):
+        # Fast nodes give up eta (not below δ_min).
+        new_fast = np.maximum(caps[fast] - eta, lo)
+        pool = float(np.sum(caps[fast] - new_fast))
+        caps[fast] = new_fast
+        # Pool divided among the slower nodes, clamped at δ_max.
+        receivers = np.where(slow)[0]
+        share = pool / len(receivers)
+        gained = np.minimum(caps[receivers] + share, hi) - caps[receivers]
+        caps[receivers] += gained
+
+    # Slack power: budget not currently installed is spread evenly.
+    slack = budget_w - float(caps.sum())
+    if slack > 1e-9:
+        caps = np.minimum(caps + slack / len(caps), hi)
+    return caps, slack
 
 
 class TimeAwareController(PowerController):
@@ -79,41 +118,54 @@ class TimeAwareController(PowerController):
     def initial_allocation(self) -> Allocation:
         alloc = self.even_split()
         self._caps = np.concatenate([alloc.sim_caps_w, alloc.ana_caps_w])
+        self._audit_init(alloc)
         return alloc
 
     def observe(self, obs: Observation) -> Allocation | None:
+        self._audit_observe(obs)
         times = np.concatenate(
             [obs.sim.node_epoch_times_s, obs.ana.node_epoch_times_s]
         )
         assert self._caps is not None
-        caps = self._caps.copy()
         lo, hi = self.node.rapl_min_watts, self.node.tdp_watts
-
-        target = (1.0 - self.reactivity) * float(times.max())
-        fast = times < target
-        slow = ~fast
 
         eta = self._current_step
         self._current_step = max(
             self.step_min_w, self._current_step * self.step_decay
         )
+        caps, slack = balance_caps(
+            self._caps, times, eta, self.reactivity, self.budget_w, lo, hi
+        )
 
-        if np.any(fast) and np.any(slow):
-            # Fast nodes give up eta (not below δ_min).
-            new_fast = np.maximum(caps[fast] - eta, lo)
-            pool = float(np.sum(caps[fast] - new_fast))
-            caps[fast] = new_fast
-            # Pool divided among the slower nodes, clamped at δ_max.
-            receivers = np.where(slow)[0]
-            share = pool / len(receivers)
-            gained = np.minimum(caps[receivers] + share, hi) - caps[receivers]
-            caps[receivers] += gained
-
-        # Slack power: budget not currently installed is spread evenly.
-        slack = self.budget_w - float(caps.sum())
-        if slack > 1e-9:
-            caps = np.minimum(caps + slack / len(caps), hi)
-
+        audit = get_audit()
+        if audit.enabled:
+            before = self._caps
+            audit.record_decision(
+                self.name,
+                obs.step,
+                before=(
+                    float(before[: self.n_sim].sum()),
+                    float(before[self.n_sim :].sum()),
+                ),
+                after=(
+                    float(caps[: self.n_sim].sum()),
+                    float(caps[self.n_sim :].sum()),
+                ),
+                inputs={
+                    "caps_w": before.tolist(),
+                    "times_s": times.tolist(),
+                    "eta_w": eta,
+                    "reactivity": self.reactivity,
+                    "budget_w": self.budget_w,
+                    "lo_w": lo,
+                    "hi_w": hi,
+                    "n_sim": self.n_sim,
+                },
+                after_caps={
+                    "sim": caps[: self.n_sim].tolist(),
+                    "ana": caps[self.n_sim :].tolist(),
+                },
+            )
         tracer = get_tracer()
         if tracer.enabled:
             before = self._caps

@@ -25,6 +25,8 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from repro.metrics.audit import get_audit
+from repro.metrics.registry import get_metrics
 from repro.telemetry import get_tracer
 
 __all__ = ["Engine", "EventHandle", "SimulationError"]
@@ -82,12 +84,34 @@ class Engine:
         if self._tracer is not None:
             tracer.bind_clock(lambda: self._now, label="des-engine")
             tracer.name_thread(0, "des/engine")
+        # The metrics registry and audit journal sample on the same
+        # virtual clock; both bindings are no-ops on the null objects.
+        metrics = get_metrics()
+        self._metrics = metrics if metrics.enabled else None
+        if self._metrics is not None:
+            metrics.bind_clock(lambda: self._now)
+        audit = get_audit()
+        if audit.enabled:
+            audit.bind_clock(lambda: self._now)
+        #: inline sampler hook fired on clock advances (never a heap
+        #: event — synthetic events would move the virtual end time and
+        #: break the bit-identity contract). See attach_sampler().
+        self._sampler: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def attach_sampler(self, sampler: Callable[[float], None]) -> None:
+        """Install a callable invoked with ``now`` after every clock
+        advance (see :class:`repro.metrics.timeseries.PeriodicSampler`).
+
+        The sampler is a pure observer: it must not schedule events or
+        otherwise perturb the simulation.
+        """
+        self._sampler = sampler
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -131,6 +155,8 @@ class Engine:
         if handle is None:
             return False
         self._now = handle.time
+        if self._sampler is not None:
+            self._sampler(self._now)
         callback = handle.callback
         handle.callback = None
         self.events_executed += 1
@@ -163,6 +189,12 @@ class Engine:
             self._running = False
             if run_span is not None:
                 run_span.end(events=self.events_executed)
+            if self._metrics is not None:
+                self._metrics.counter("des.runs").inc()
+                self._metrics.histogram("des.events_per_run").observe(
+                    float(self.events_executed)
+                )
+                self._metrics.gauge("des.virtual_time_s").set(self._now)
 
     def run_until(self, time: float) -> None:
         """Run events with timestamps <= ``time``; then set now = time."""

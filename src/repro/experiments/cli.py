@@ -9,6 +9,12 @@ Usage::
     seesaw-experiments run all --output artifacts/ --journal run.jsonl
     seesaw-experiments run fig8 --trace fig8-trace.json
     seesaw-experiments trace --out trace.json --approach seesaw
+    seesaw-experiments run fig4 --metrics metrics.json --audit audit.jsonl
+    seesaw-experiments audit replay audit.jsonl
+    seesaw-experiments audit diff a.jsonl b.jsonl
+    seesaw-experiments audit timeline audit.jsonl
+    seesaw-experiments bench capture --out benchmarks/baselines
+    seesaw-experiments bench check --baselines benchmarks/baselines
 
 ``--quick`` trades statistical fidelity for speed (fewer Verlet steps,
 single run instead of median-of-3) — useful for smoke-testing.
@@ -30,6 +36,17 @@ spans/counters from every layer of the in-process runs into a Chrome
 ``trace_event`` JSON that opens in ``chrome://tracing`` / Perfetto;
 ``trace`` runs a purpose-built small in-situ job under any approach
 and writes its trace plus a per-phase time/power summary.
+
+Observability (see :mod:`repro.metrics`): ``run ... --metrics PATH``
+collects streaming histograms/counters/gauges over the in-process runs
+and writes a report (JSON for ``.json`` paths, Prometheus text
+otherwise); ``run ... --audit PATH`` journals every controller decision
+to JSONL. ``audit replay`` re-executes a journal's decisions from their
+recorded inputs and verifies the cap schedule (exit 1 on mismatch);
+``audit diff`` compares two journals decision-by-decision (exit 1 iff
+they diverge); ``audit timeline`` renders the Fig. 1/2-style power
+split in the terminal. ``bench capture``/``bench check`` maintain the
+benchmark-regression baselines (see :mod:`repro.metrics.bench`).
 """
 
 from __future__ import annotations
@@ -193,6 +210,69 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    """Replay / diff / timeline over recorded controller journals."""
+    from repro.metrics.audit import (
+        diff_decisions,
+        load_journal,
+        render_timeline,
+        replay,
+    )
+
+    if args.audit_cmd == "replay":
+        result = replay(load_journal(args.journal))
+        print(result.render())
+        return 0 if result.clean else 1
+    if args.audit_cmd == "diff":
+        divergences = diff_decisions(
+            load_journal(args.a), load_journal(args.b)
+        )
+        if not divergences:
+            print("journals agree on every decision")
+            return 0
+        for d in divergences:
+            print(d)
+        print(f"\n{len(divergences)} divergence(s)")
+        return 1
+    # timeline
+    print(render_timeline(load_journal(args.journal)))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Capture a benchmark baseline or check against the latest one."""
+    from repro.metrics import bench
+
+    if args.bench_cmd == "capture":
+        result = bench.capture(date=args.date)
+        path = bench.save(result, args.out)
+        print(f"[captured {len(result.metrics)} metrics -> {path}]")
+        return 0
+    # check
+    baseline_path = bench.latest_baseline(args.baselines)
+    if baseline_path is None:
+        print(f"no BENCH_*.json baseline under {args.baselines}", file=sys.stderr)
+        return 2
+    baseline = bench.load(baseline_path)
+    current = bench.capture()
+    deltas = bench.compare(baseline, current)
+    print(f"baseline: {baseline_path}")
+    print(bench.render_text(deltas))
+    if args.out is not None:
+        bench.save(current, args.out)
+    if args.summary is not None:
+        summary = Path(args.summary)
+        summary.parent.mkdir(parents=True, exist_ok=True)
+        with summary.open("a") as fh:
+            fh.write(bench.render_markdown(deltas))
+    regressed = [d for d in deltas if d.regressed]
+    if regressed:
+        print(f"\n{len(regressed)} gated metric(s) regressed", file=sys.stderr)
+        return 1
+    print("\nno gated regressions")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="seesaw-experiments",
@@ -255,6 +335,22 @@ def main(argv: list[str] | None = None) -> int:
         help="write a Chrome trace_event JSON of the in-process runs "
         "(open in chrome://tracing or Perfetto)",
     )
+    run_p.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="collect streaming metrics over the in-process runs and "
+        "write a report (.json -> JSON, otherwise Prometheus text)",
+    )
+    run_p.add_argument(
+        "--audit",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="journal every controller decision to a JSONL audit file "
+        "(replay/diff/timeline via the 'audit' subcommand)",
+    )
     trace_p = sub.add_parser(
         "trace",
         help="run a small traced in-situ job and write a Chrome trace",
@@ -299,6 +395,79 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument(
         "--seed", type=int, default=2020, help="job seed (default: 2020)"
     )
+
+    audit_p = sub.add_parser(
+        "audit",
+        help="replay, diff, or render recorded controller journals",
+        description="Work with JSONL audit journals recorded by "
+        "'run --audit PATH': re-execute every decision from its "
+        "recorded inputs (replay), compare two runs decision by "
+        "decision (diff), or render the power-split timeline.",
+    )
+    audit_sub = audit_p.add_subparsers(dest="audit_cmd", required=True)
+    replay_p = audit_sub.add_parser(
+        "replay", help="recompute every decision; exit 1 on any mismatch"
+    )
+    replay_p.add_argument("journal", type=Path, help="audit JSONL path")
+    diff_p = audit_sub.add_parser(
+        "diff", help="compare two journals; exit 1 iff decisions diverge"
+    )
+    diff_p.add_argument("a", type=Path)
+    diff_p.add_argument("b", type=Path)
+    timeline_p = audit_sub.add_parser(
+        "timeline", help="terminal power-split timeline of one journal"
+    )
+    timeline_p.add_argument("journal", type=Path, help="audit JSONL path")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="capture or check benchmark-regression baselines",
+        description="Benchmark regression tracking: 'capture' writes a "
+        "BENCH_<date>.json baseline; 'check' re-runs the collectors "
+        "and compares against the latest baseline (exit 1 on a gated "
+        "regression, 2 when no baseline exists).",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_cmd", required=True)
+    capture_p = bench_sub.add_parser(
+        "capture", help="run the collectors and write a baseline"
+    )
+    capture_p.add_argument(
+        "--out",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        metavar="DIR",
+        help="baseline directory (default: benchmarks/baselines)",
+    )
+    capture_p.add_argument(
+        "--date",
+        default=None,
+        help="override the baseline date stamp (default: today)",
+    )
+    check_p = bench_sub.add_parser(
+        "check", help="compare a fresh capture against the latest baseline"
+    )
+    check_p.add_argument(
+        "--baselines",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        metavar="DIR",
+        help="baseline directory (default: benchmarks/baselines)",
+    )
+    check_p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also save the fresh capture into DIR (CI artifact)",
+    )
+    check_p.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append a markdown delta table (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -311,6 +480,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.steps < 1 or args.ranks < 1:
             parser.error("--steps and --ranks must be >= 1")
         return _cmd_trace(args)
+
+    if args.command == "audit":
+        return _cmd_audit(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.runs is not None and args.runs < 1:
         parser.error("--runs must be >= 1")
@@ -330,31 +505,63 @@ def main(argv: list[str] | None = None) -> int:
     if args.runs is not None:
         overrides["n_runs"] = args.runs
 
+    if args.jobs > 1 and (
+        args.trace is not None
+        or args.metrics is not None
+        or args.audit is not None
+    ):
+        print(
+            "warning: --trace/--metrics/--audit record in-process work "
+            "only; pool workers (--jobs > 1) are not instrumented",
+            file=sys.stderr,
+        )
+
+    # One tracer can feed both the metrics registry and the Chrome
+    # trace: the MetricsSink folds records and forwards to the file
+    # sink, so --metrics and --trace compose.
     trace_sink = None
-    trace_scope = contextlib.nullcontext()
+    registry = None
+    audit_journal = None
+    scopes = contextlib.ExitStack()
     if args.trace is not None:
-        if args.jobs > 1:
-            print(
-                "warning: --trace records in-process work only; "
-                "pool workers (--jobs > 1) are not traced",
-                file=sys.stderr,
-            )
         trace_sink = ChromeTraceSink()
-        trace_scope = use_tracer(Tracer(trace_sink))
+    if args.metrics is not None:
+        from repro.metrics import MetricRegistry, MetricsSink, use_metrics
+
+        registry = MetricRegistry()
+        scopes.enter_context(use_metrics(registry))
+        scopes.enter_context(
+            use_tracer(Tracer(MetricsSink(registry, forward=trace_sink)))
+        )
+    elif trace_sink is not None:
+        scopes.enter_context(use_tracer(Tracer(trace_sink)))
+    if args.audit is not None:
+        from repro.metrics import AuditJournal, use_audit
+
+        audit_journal = AuditJournal(args.audit)
+        scopes.enter_context(use_audit(audit_journal))
 
     engine, journal = _build_engine(args)
     try:
-        with trace_scope:
+        with scopes:
             with use_engine(engine):
                 for name in names:
                     print(_run_one(name, overrides, args.output))
                     print()
         journal.summary(jobs=args.jobs, experiments=names)
     finally:
+        if audit_journal is not None:
+            audit_journal.close()
         journal.close()
     if trace_sink is not None:
         path = trace_sink.write(args.trace)
         print(f"[trace: {len(trace_sink.records)} records -> {path}]")
+    if registry is not None:
+        registry.report().write(args.metrics)
+        print(f"[metrics report -> {args.metrics}]")
+    if audit_journal is not None:
+        n_dec = sum(1 for r in audit_journal.records if r.kind == "decision")
+        print(f"[audit: {n_dec} decisions -> {args.audit}]")
     return 0
 
 

@@ -58,9 +58,15 @@ from repro.insitu.costs import (
     SECONDS_PER_EXCHANGE_ATOM,
     SECONDS_PER_PAIR,
 )
+from repro.metrics.registry import get_metrics
+from repro.metrics.timeseries import PeriodicSampler
 from repro.polimer import poli_init_power_manager, poli_power_alloc
 from repro.telemetry import get_tracer
 from repro.workloads.profiles import PHASES
+
+#: virtual-time sampling period of the live power-split series —
+#: comfortably finer than any compute phase in the miniature jobs
+SAMPLE_PERIOD_S = 0.01
 
 __all__ = ["InsituConfig", "InsituResult", "run_insitu"]
 
@@ -157,6 +163,31 @@ def run_insitu(
     # The null tracer's begin/end are no-ops, so the per-sync span
     # bookkeeping below costs a method call when tracing is off.
     tracer = get_tracer()
+
+    # Live Fig. 1-style power-split series: sample the lead ranks' caps
+    # on a fixed virtual period. The sampler is a pure observer invoked
+    # inline by the engine (never a heap event), and the probes return
+    # None until the managers exist, so runs stay bit-identical.
+    metrics = get_metrics()
+    if metrics.enabled:
+
+        def cap_probe(rank: int):
+            def probe():
+                pm = managers.get(rank)
+                return None if pm is None else pm.node.current_cap_w
+
+            return probe
+
+        engine.attach_sampler(
+            PeriodicSampler(
+                metrics,
+                SAMPLE_PERIOD_S,
+                {
+                    "power.cap.sim_w": cap_probe(0),
+                    "power.cap.ana_w": cap_probe(cfg.n_sim_ranks),
+                },
+            )
+        )
 
     def sim_rank(rank: int, comm: Communicator):
         tid = rank + 1

@@ -1,0 +1,106 @@
+"""Virtual-clock time series: preallocated ring buffers + DES sampler.
+
+The paper's Figure 1 is a fixed-period power trace; the metrics layer
+reproduces that view live with bounded memory. A :class:`RingBuffer`
+holds the last ``capacity`` ``(t, value)`` samples in preallocated
+numpy storage; a :class:`PeriodicSampler` reads a set of probes every
+``period_s`` of *virtual* time.
+
+The sampler deliberately schedules **no DES events**. A self-
+rescheduling heap event would extend the run past the last real event
+and shift the virtual end time — breaking the bit-identity contract
+between metered and unmetered runs. Instead the engine invokes the
+sampler inline whenever its clock advances (one attribute check per
+dispatch when metrics are off, see :class:`repro.des.engine.Engine`),
+and the sampler fires its probes whenever a period boundary has been
+crossed. Samples are therefore stamped at real event times, never at
+synthetic ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["PeriodicSampler", "RingBuffer"]
+
+
+class RingBuffer:
+    """Last-``capacity`` ``(t, value)`` samples, oldest overwritten."""
+
+    __slots__ = ("_t", "_v", "_next", "_size")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._t = np.empty(capacity, dtype=float)
+        self._v = np.empty(capacity, dtype=float)
+        self._next = 0
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._t)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, t: float, value: float) -> None:
+        i = self._next
+        self._t[i] = t
+        self._v[i] = value
+        self._next = (i + 1) % len(self._t)
+        self._size = min(self._size + 1, len(self._t))
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` in chronological order (copies)."""
+        if self._size < len(self._t):
+            sl = slice(0, self._size)
+            return self._t[sl].copy(), self._v[sl].copy()
+        order = np.r_[self._next : len(self._t), 0 : self._next]
+        return self._t[order], self._v[order]
+
+    def to_json(self) -> dict:
+        t, v = self.arrays()
+        return {"t": t.tolist(), "values": v.tolist()}
+
+
+class PeriodicSampler:
+    """Probe reader fired by the engine's clock advances.
+
+    ``probes`` maps a time-series name to a zero-argument callable
+    returning the current value; each probe feeds the registry's ring
+    buffer of that name. A probe may return ``None`` to skip this
+    sample (e.g. the probed object does not exist yet). Probes that
+    raise are disabled for the rest of the run rather than killing the
+    simulation — a sampler must never be able to fail a run.
+    """
+
+    __slots__ = ("period_s", "_probes", "_series", "_next_t", "_dead")
+
+    def __init__(self, registry, period_s: float, probes: dict[str, Callable[[], float]]):
+        if period_s <= 0:
+            raise ValueError("sampling period must be positive")
+        self.period_s = period_s
+        self._probes = dict(probes)
+        self._series = {name: registry.timeseries(name) for name in probes}
+        self._next_t = 0.0
+        self._dead: set[str] = set()
+
+    def __call__(self, now: float) -> None:
+        """Engine hook: called whenever virtual time advances."""
+        if now < self._next_t:
+            return
+        for name, probe in self._probes.items():
+            if name in self._dead:
+                continue
+            try:
+                value = probe()
+            except Exception:
+                self._dead.add(name)
+                continue
+            if value is None:
+                continue
+            self._series[name].push(now, float(value))
+        self._next_t = now + self.period_s

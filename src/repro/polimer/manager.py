@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation, PartitionMeasurement
 from repro.des.engine import Engine
+from repro.metrics.registry import get_metrics
 from repro.mpi.comm import Communicator
 from repro.polimer.noderuntime import NodeRuntime
 from repro.telemetry import get_tracer
@@ -103,6 +104,8 @@ class PowerManager:
         node_runtime.trace_tid = self._trace_tid
         tracer = get_tracer()
         self._tracer = tracer if tracer.enabled else None
+        metrics = get_metrics()
+        self._metrics = metrics if metrics.enabled else None
         if self._tracer is not None:
             part = "sim" if master == 0 else "ana"
             self._tracer.name_thread(self._trace_tid, f"{part} rank {rank}")
@@ -197,6 +200,13 @@ class PowerManager:
         if span is not None:
             span.end(wait_s=self.engine.now - now)
             self._tracer.counter("insitu.sync_waits", cat="insitu").inc()
+        if self._metrics is not None:
+            self._metrics.counter("insitu.sync_waits").inc()
+            self._metrics.histogram("insitu.sync_wait_s").observe(
+                max(self.engine.now - now, 0.0)
+            )
+            part = "sim" if self.master == 0 else "ana"
+            self._metrics.histogram(f"insitu.{part}.work_s").observe(work_time)
         # measurement interval restarts at the release of the bcast
         self._last_release = self.engine.now
         self._last_entry_t = self.engine.now

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.cluster.node import NodeSpec
 from repro.des.engine import Engine
+from repro.metrics.registry import get_metrics
 from repro.power.execution import execute_phase
 from repro.power.model import PhaseKind
 from repro.power.rapl import CapMode, RaplDomainArray
@@ -53,6 +54,8 @@ class NodeRuntime:
         self.trace_tid = 0
         tracer = get_tracer()
         self._tracer = tracer if tracer.enabled else None
+        metrics = get_metrics()
+        self._metrics = metrics if metrics.enabled else None
 
     # ------------------------------------------------------------------
     def compute(self, kind: PhaseKind, work_s: float, noise: float = 1.0):
@@ -98,6 +101,12 @@ class NodeRuntime:
                         tracer.counter(
                             "power.limited_phases", cat="power"
                         ).inc()
+                metrics = runtime._metrics
+                if metrics is not None:
+                    metrics.histogram(f"phase.{kind.name}.s").observe(duration)
+                    metrics.histogram(f"phase.{kind.name}.energy_j").observe(
+                        energy_j
+                    )
                 runtime.engine.schedule(
                     duration, lambda: process._advance(duration)
                 )

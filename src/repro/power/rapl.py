@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster.node import NodeSpec
+from repro.metrics.registry import get_metrics
 from repro.telemetry import get_tracer
 from repro.util.units import MS
 
@@ -100,6 +101,8 @@ class RaplDomainArray:
         # executor's integration loop
         tracer = get_tracer()
         self._tracer = tracer if tracer.enabled else None
+        metrics = get_metrics()
+        self._metrics = metrics if metrics.enabled else None
 
     # ------------------------------------------------------------------
     def _clamp(self, caps: np.ndarray) -> np.ndarray:
@@ -133,6 +136,13 @@ class RaplDomainArray:
                 effective_at=now + self.actuation_delay_s,
             )
             self._tracer.counter("power.caps_requested", cat="power").inc()
+        if self._metrics is not None:
+            self._metrics.counter("power.caps_requested").inc()
+            # magnitude of the requested move per node — how hard the
+            # controller is steering
+            self._metrics.histogram("power.cap_change_w").observe(
+                float(np.abs(caps - self._caps).mean())
+            )
         return caps.copy()
 
     # ------------------------------------------------------------------
@@ -152,6 +162,9 @@ class RaplDomainArray:
                     n_nodes=self.n_nodes,
                 )
                 self._tracer.counter("power.caps_applied", cat="power").inc()
+            if self._metrics is not None:
+                self._metrics.counter("power.caps_applied").inc()
+                self._metrics.gauge("power.mean_cap_w").set(float(caps.mean()))
 
     def segment_at(self, t: float) -> tuple[np.ndarray, float]:
         """Enforced caps at time ``t`` and when they next change.

@@ -19,6 +19,7 @@ __all__ = [
     "median",
     "percent_change",
     "percent_improvement",
+    "quantiles",
     "summarize",
     "variability_pct",
 ]
@@ -32,14 +33,33 @@ def median(values: Iterable[float]) -> float:
     return float(np.median(arr))
 
 
-def percent_change(new: float, old: float) -> float:
+def percent_change(new: float, old: float, name: str | None = None) -> float:
     """Signed percent change from ``old`` to ``new``.
 
-    Positive means ``new`` is larger. ``old`` must be nonzero.
+    Positive means ``new`` is larger. ``old`` must be nonzero; the
+    error otherwise names the offending metric when ``name`` is given,
+    so a failed comparison in a table of many metrics is attributable.
     """
     if old == 0:
-        raise ValueError("percent change against zero reference")
+        what = f"metric {name!r}" if name else "percent change"
+        raise ValueError(f"{what}: change against zero reference")
     return 100.0 * (new - old) / old
+
+
+def quantiles(values: Iterable[float], qs: Sequence[float]) -> list[float]:
+    """Exact sample quantiles (linear interpolation, numpy convention).
+
+    The shared definition used by :class:`repro.metrics.MetricsReport`
+    and the tests that pin the streaming histogram's resolution against
+    the exact answer.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("quantiles of empty sequence")
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+    return [float(v) for v in np.quantile(arr, list(qs))]
 
 
 def percent_improvement(managed_runtime: float, baseline_runtime: float) -> float:
@@ -63,8 +83,10 @@ def variability_pct(values: Sequence[float]) -> float:
     runs) and degrades gracefully to 0 for identical runs.
     """
     arr = np.asarray(values, dtype=float)
-    if arr.size < 2:
-        return 0.0
+    if arr.size == 0:
+        raise ValueError("variability of empty sequence")
+    if arr.size == 1:
+        return 0.0  # a single run cannot vary against itself
     med = float(np.median(arr))
     if med == 0:
         raise ValueError("variability undefined around zero median")

@@ -248,5 +248,162 @@ def test_run_trace_with_jobs_warns_about_pool(monkeypatch, tmp_path, capsys):
         "--trace", str(out), "--jobs", "2",
     ]
     assert cli.main(args) == 0
-    assert "not traced" in capsys.readouterr().err
+    assert "not instrumented" in capsys.readouterr().err
     assert out.exists()
+
+
+# ----------------------------------------------------- metrics & audit
+def test_run_metrics_and_audit_flags(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    metrics_out = tmp_path / "metrics.json"
+    audit_out = tmp_path / "audit.jsonl"
+    args = [
+        "run", "tiny", "--quick", "--no-cache",
+        "--metrics", str(metrics_out), "--audit", str(audit_out),
+    ]
+    assert cli.main(args) == 0
+    report = json.loads(metrics_out.read_text())
+    assert report["counters"]  # controller decisions etc. were folded in
+    from repro.metrics import load_journal
+
+    records = load_journal(audit_out)
+    assert any(r.kind == "decision" for r in records)
+    out = capsys.readouterr().out
+    assert "[metrics report ->" in out
+    assert "[audit:" in out
+
+
+def test_observability_paths_create_missing_parents(monkeypatch, tmp_path, capsys):
+    """Satellite: --trace/--metrics/--audit/--journal all accept paths
+    whose parent directories do not exist yet."""
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    trace = tmp_path / "t" / "deep" / "trace.json"
+    metrics = tmp_path / "m" / "deep" / "metrics.prom"
+    audit = tmp_path / "a" / "deep" / "audit.jsonl"
+    journal = tmp_path / "j" / "deep" / "run.jsonl"
+    args = [
+        "run", "tiny", "--quick", "--no-cache",
+        "--trace", str(trace), "--metrics", str(metrics),
+        "--audit", str(audit), "--journal", str(journal),
+    ]
+    assert cli.main(args) == 0
+    assert json.loads(trace.read_text())["traceEvents"]
+    assert "# TYPE" in metrics.read_text()
+    assert audit.read_text().strip()
+    assert journal.read_text().strip()
+    capsys.readouterr()
+
+
+def _audited_journal(tmp_path, name, tamper=False):
+    """Record a real seesaw run's journal to disk via the public API."""
+    from repro.experiments.runner import build_controller
+    from repro.metrics import AuditJournal, use_audit
+    from repro.workloads import run_job
+
+    path = tmp_path / name
+    cfg = JobConfig(dim=2, n_nodes=4, n_verlet_steps=6, seed=13)
+    with use_audit(AuditJournal(path)) as journal:
+        run_job(cfg, build_controller("seesaw", cfg))
+    journal.close()
+    if tamper:
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[-1])
+        assert doc["kind"] == "decision"
+        doc["after_sim_w"] += 1.0
+        lines[-1] = json.dumps(doc)
+        path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_audit_replay_clean_and_tampered(tmp_path, capsys):
+    clean = _audited_journal(tmp_path, "clean.jsonl")
+    assert cli.main(["audit", "replay", str(clean)]) == 0
+    assert "reproduced exactly" in capsys.readouterr().out
+    bad = _audited_journal(tmp_path, "bad.jsonl", tamper=True)
+    assert cli.main(["audit", "replay", str(bad)]) == 1
+    assert "MISMATCHES" in capsys.readouterr().out
+
+
+def test_audit_diff_exit_codes(tmp_path, capsys):
+    a = _audited_journal(tmp_path, "a.jsonl")
+    b = _audited_journal(tmp_path, "b.jsonl")
+    assert cli.main(["audit", "diff", str(a), str(b)]) == 0
+    assert "agree" in capsys.readouterr().out
+    c = _audited_journal(tmp_path, "c.jsonl", tamper=True)
+    assert cli.main(["audit", "diff", str(a), str(c)]) == 1
+    assert "divergence" in capsys.readouterr().out
+
+
+def test_audit_timeline_renders(tmp_path, capsys):
+    journal = _audited_journal(tmp_path, "t.jsonl")
+    assert cli.main(["audit", "timeline", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "controller timeline" in out
+    assert "pred slack s" in out
+
+
+# ------------------------------------------------------------------ bench
+def _stub_bench(monkeypatch, current_value):
+    """Replace the slow collectors with one synthetic gated metric."""
+    from repro.metrics import bench
+
+    def fake_capture(date=None):
+        return bench.BenchResult(
+            captured_at=date or "2026-01-02",
+            metrics={
+                "m.x": bench.BenchMetric(
+                    value=current_value, unit="s", direction="equal"
+                )
+            },
+        )
+
+    monkeypatch.setattr(bench, "capture", fake_capture)
+    return bench
+
+
+def test_bench_capture_then_clean_check(monkeypatch, tmp_path, capsys):
+    bench = _stub_bench(monkeypatch, 10.0)
+    baselines = tmp_path / "baselines"
+    args = ["bench", "capture", "--out", str(baselines), "--date", "2026-01-01"]
+    assert cli.main(args) == 0
+    assert (baselines / "BENCH_2026-01-01.json").exists()
+    assert cli.main(["bench", "check", "--baselines", str(baselines)]) == 0
+    assert "no gated regressions" in capsys.readouterr().out
+    del bench
+
+
+def test_bench_check_fails_on_regression_and_writes_summary(
+    monkeypatch, tmp_path, capsys
+):
+    from repro.metrics import bench as real_bench
+
+    baselines = tmp_path / "baselines"
+    real_bench.save(
+        real_bench.BenchResult(
+            captured_at="2026-01-01",
+            metrics={
+                "m.x": real_bench.BenchMetric(
+                    value=10.0, unit="s", direction="equal"
+                )
+            },
+        ),
+        baselines,
+    )
+    _stub_bench(monkeypatch, 11.0)  # moved beyond the zero tolerance
+    summary = tmp_path / "gh" / "step_summary.md"
+    artifacts = tmp_path / "artifacts"
+    args = [
+        "bench", "check", "--baselines", str(baselines),
+        "--out", str(artifacts), "--summary", str(summary),
+    ]
+    assert cli.main(args) == 1
+    assert "regressed" in capsys.readouterr().err
+    assert "❌ regressed" in summary.read_text()
+    assert list(artifacts.glob("BENCH_*.json"))
+
+
+def test_bench_check_without_baseline_exits_2(monkeypatch, tmp_path, capsys):
+    _stub_bench(monkeypatch, 1.0)
+    args = ["bench", "check", "--baselines", str(tmp_path / "empty")]
+    assert cli.main(args) == 2
+    assert "no BENCH_" in capsys.readouterr().err

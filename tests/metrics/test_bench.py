@@ -1,0 +1,150 @@
+"""Benchmark-regression tracker tests (synthetic results only: the
+real collectors run in the CLI / CI path)."""
+
+import json
+
+from repro.metrics.bench import (
+    BenchMetric,
+    BenchResult,
+    compare,
+    latest_baseline,
+    load,
+    render_markdown,
+    render_text,
+    save,
+)
+
+
+def _result(date, **values):
+    """BenchResult with a standard metric mix, values overridable."""
+    defaults = {
+        "imp.pct": BenchMetric(
+            value=values.get("imp", 5.0),
+            unit="pct",
+            direction="higher",
+            tol_abs=0.25,
+        ),
+        "time.s": BenchMetric(
+            value=values.get("time", 100.0),
+            unit="s",
+            direction="equal",
+            tol_pct=0.01,
+        ),
+        "wall.s": BenchMetric(
+            value=values.get("wall", 1.0),
+            unit="s",
+            direction="lower",
+            gate=False,
+        ),
+    }
+    return BenchResult(captured_at=date, metrics=defaults)
+
+
+def test_save_load_round_trip(tmp_path):
+    path = save(_result("2026-08-01"), tmp_path / "baselines")
+    assert path.name == "BENCH_2026-08-01.json"
+    loaded = load(path)
+    assert loaded.captured_at == "2026-08-01"
+    assert loaded.metrics["imp.pct"].value == 5.0
+    assert loaded.metrics["imp.pct"].direction == "higher"
+    assert loaded.metrics["wall.s"].gate is False
+    # file is plain sorted JSON
+    data = json.loads(path.read_text())
+    assert list(data["metrics"]) == sorted(data["metrics"])
+
+
+def test_latest_baseline_picks_newest_date(tmp_path):
+    assert latest_baseline(tmp_path) is None
+    save(_result("2026-07-30"), tmp_path)
+    save(_result("2026-08-02"), tmp_path)
+    save(_result("2026-08-01"), tmp_path)
+    assert latest_baseline(tmp_path).name == "BENCH_2026-08-02.json"
+
+
+def test_compare_identical_is_clean():
+    deltas = compare(_result("a"), _result("b"))
+    assert not any(d.regressed for d in deltas)
+    assert all(d.delta == 0.0 for d in deltas)
+
+
+def test_compare_within_tolerance_is_clean():
+    deltas = compare(_result("a"), _result("b", imp=4.8, time=100.005))
+    assert not any(d.regressed for d in deltas)
+
+
+def test_compare_higher_direction_regresses_only_downward():
+    worse = compare(_result("a"), _result("b", imp=4.0))
+    assert next(d for d in worse if d.name == "imp.pct").regressed
+    better = compare(_result("a"), _result("b", imp=9.0))
+    assert not next(d for d in better if d.name == "imp.pct").regressed
+
+
+def test_compare_equal_direction_regresses_both_ways():
+    for moved in (99.0, 101.0):
+        deltas = compare(_result("a"), _result("b", time=moved))
+        d = next(d for d in deltas if d.name == "time.s")
+        assert d.regressed
+        assert "tolerance" in d.note
+
+
+def test_compare_informational_never_regresses():
+    deltas = compare(_result("a"), _result("b", wall=50.0))
+    d = next(d for d in deltas if d.name == "wall.s")
+    assert not d.regressed
+    assert not d.gate
+    assert d.note == ""
+
+
+def test_compare_missing_gated_metric_regresses():
+    base = _result("a")
+    cur = _result("b")
+    del cur.metrics["imp.pct"]
+    d = next(d for d in compare(base, cur) if d.name == "imp.pct")
+    assert d.regressed
+    assert d.note == "metric disappeared"
+    assert d.current is None
+
+
+def test_compare_missing_informational_metric_is_reported_not_gated():
+    base = _result("a")
+    cur = _result("b")
+    del cur.metrics["wall.s"]
+    d = next(d for d in compare(base, cur) if d.name == "wall.s")
+    assert not d.regressed
+
+
+def test_compare_new_metric_is_informational():
+    base = _result("a")
+    cur = _result("b")
+    cur.metrics["fresh.n"] = BenchMetric(value=1.0, unit="n")
+    d = next(d for d in compare(base, cur) if d.name == "fresh.n")
+    assert not d.regressed
+    assert d.note == "new metric"
+    assert d.baseline is None
+
+
+def test_baseline_policy_governs_comparison():
+    """Tolerances come from the baseline file, not the current run."""
+    base = _result("a")
+    cur = _result("b", imp=4.6)
+    cur.metrics["imp.pct"].tol_abs = 100.0  # loosening now must not help
+    d = next(d for d in compare(base, cur) if d.name == "imp.pct")
+    assert d.regressed
+
+
+def test_render_text_marks_status():
+    deltas = compare(_result("a"), _result("b", imp=1.0, wall=9.0))
+    text = render_text(deltas)
+    assert "REGRESSED" in text
+    assert "info" in text
+    assert "ok" in text
+
+
+def test_render_markdown_is_a_table():
+    deltas = compare(_result("a"), _result("b", imp=1.0))
+    md = render_markdown(deltas)
+    assert md.startswith("### Benchmark regression check")
+    assert "| `imp.pct` |" in md
+    assert "❌ regressed" in md
+    assert "✅ ok" in md
+    assert "ℹ️ informational" in md

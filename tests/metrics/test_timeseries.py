@@ -1,0 +1,98 @@
+"""Ring-buffer and periodic-sampler tests."""
+
+import pytest
+
+from repro.metrics import MetricRegistry, PeriodicSampler, RingBuffer
+
+
+def test_ring_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+
+
+def test_ring_buffer_partial_fill_is_chronological():
+    rb = RingBuffer(8)
+    for i in range(3):
+        rb.push(float(i), float(10 * i))
+    assert len(rb) == 3
+    t, v = rb.arrays()
+    assert list(t) == [0.0, 1.0, 2.0]
+    assert list(v) == [0.0, 10.0, 20.0]
+
+
+def test_ring_buffer_wraparound_keeps_newest():
+    rb = RingBuffer(4)
+    for i in range(10):
+        rb.push(float(i), float(i))
+    assert len(rb) == 4
+    t, v = rb.arrays()
+    assert list(t) == [6.0, 7.0, 8.0, 9.0]
+    assert list(v) == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_ring_buffer_arrays_are_copies():
+    rb = RingBuffer(4)
+    rb.push(1.0, 2.0)
+    t, _ = rb.arrays()
+    t[0] = 99.0
+    assert rb.arrays()[0][0] == 1.0
+
+
+def test_ring_buffer_to_json():
+    rb = RingBuffer(4)
+    rb.push(0.5, 7.0)
+    assert rb.to_json() == {"t": [0.5], "values": [7.0]}
+
+
+# ---------------------------------------------------------------------------
+# sampler
+
+
+def test_sampler_rejects_bad_period():
+    with pytest.raises(ValueError):
+        PeriodicSampler(MetricRegistry(), 0.0, {})
+
+
+def test_sampler_fires_once_per_period():
+    reg = MetricRegistry()
+    sampler = PeriodicSampler(reg, 1.0, {"s": lambda: 42.0})
+    # many clock advances within one period -> one sample per boundary
+    for now in (0.0, 0.1, 0.2, 0.9, 1.0, 1.5, 2.5):
+        sampler(now)
+    t, v = reg.timeseries("s").arrays()
+    assert list(t) == [0.0, 1.0, 2.5]
+    assert list(v) == [42.0, 42.0, 42.0]
+
+
+def test_sampler_probe_returning_none_skips_sample():
+    reg = MetricRegistry()
+    state = {"value": None}
+    sampler = PeriodicSampler(reg, 1.0, {"s": lambda: state["value"]})
+    sampler(0.0)  # probed object does not exist yet
+    assert len(reg.timeseries("s")) == 0
+    state["value"] = 5.0
+    sampler(1.0)  # probe comes alive later and resumes sampling
+    t, v = reg.timeseries("s").arrays()
+    assert list(t) == [1.0]
+    assert list(v) == [5.0]
+
+
+def test_sampler_raising_probe_is_disabled_not_fatal():
+    reg = MetricRegistry()
+    calls = {"good": 0, "bad": 0}
+
+    def good():
+        calls["good"] += 1
+        return 1.0
+
+    def bad():
+        calls["bad"] += 1
+        raise RuntimeError("probe exploded")
+
+    sampler = PeriodicSampler(reg, 1.0, {"good": good, "bad": bad})
+    sampler(0.0)
+    sampler(1.0)
+    sampler(2.0)
+    assert calls == {"good": 3, "bad": 1}  # bad probe permanently off
+    assert len(reg.timeseries("good")) == 3
+    assert len(reg.timeseries("bad")) == 0

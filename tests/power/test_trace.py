@@ -91,3 +91,28 @@ def test_sampling_requires_window():
 def test_span_of_empty_trace_raises():
     with pytest.raises(ValueError):
         PowerTrace().span
+
+
+def test_power_at_outside_recorded_span_is_zero():
+    tr = PowerTrace()
+    tr.add(1.0, 2.0, 50.0)
+    assert tr.power_at(0.999999) == 0.0
+    assert tr.power_at(1.0) == 50.0  # t0 is inclusive
+    assert tr.power_at(2.0) == 0.0  # t1 is exclusive
+    assert tr.power_at(1e9) == 0.0
+
+
+def test_energy_of_empty_trace_is_zero():
+    tr = PowerTrace()
+    assert tr.empty
+    assert tr.energy() == 0.0
+    assert tr.energy(0.0, 100.0) == 0.0
+
+
+def test_mean_power_reversed_bounds_raise():
+    tr = PowerTrace()
+    tr.add(0.0, 2.0, 100.0)
+    with pytest.raises(ValueError, match="empty averaging window"):
+        tr.mean_power(1.5, 0.5)
+    with pytest.raises(ValueError, match="empty averaging window"):
+        tr.mean_power(1.0, 1.0)

@@ -104,6 +104,27 @@ def test_null_sink_leaves_job_results_bit_identical(seed, approach):
         assert r0 == r1
 
 
+@given(
+    st.integers(0, 2**32 - 1),
+    st.sampled_from(["static", "seesaw", "power-aware", "time-aware"]),
+)
+@settings(max_examples=8, deadline=None)
+def test_metrics_and_audit_leave_job_results_bit_identical(seed, approach):
+    """The metrics layer's contract: a run with a live registry and
+    audit journal installed matches a bare run bit for bit."""
+    from repro.metrics import AuditJournal, MetricRegistry, use_audit, use_metrics
+
+    cfg = JobConfig(dim=2, n_nodes=4, n_verlet_steps=6, seed=seed)
+    base = run_job(cfg, build_controller(approach, cfg))
+    with use_metrics(MetricRegistry()), use_audit(AuditJournal()) as journal:
+        metered = run_job(cfg, build_controller(approach, cfg))
+    assert metered.total_time_s == base.total_time_s
+    assert len(metered.records) == len(base.records)
+    for r0, r1 in zip(base.records, metered.records):
+        assert r0 == r1
+    assert journal.records  # and the journal actually captured the run
+
+
 def test_memory_sink_also_preserves_numerics():
     """Even a *recording* tracer leaves the proxy's numerics alone."""
     cfg = JobConfig(dim=2, n_nodes=4, n_verlet_steps=6, seed=11)

@@ -11,6 +11,7 @@ from repro.util.stats import (
     median,
     percent_change,
     percent_improvement,
+    quantiles,
     summarize,
     variability_pct,
 )
@@ -42,6 +43,34 @@ def test_percent_improvement_convention():
         percent_improvement(1.0, 0.0)
 
 
+def test_percent_change_error_names_metric():
+    with pytest.raises(ValueError, match="metric 'fig8.cap110'"):
+        percent_change(1.0, 0.0, name="fig8.cap110")
+    # unnamed comparisons keep the generic wording
+    with pytest.raises(ValueError, match="percent change"):
+        percent_change(1.0, 0.0)
+
+
+def test_quantiles_match_numpy():
+    values = [4.0, 1.0, 3.0, 2.0]
+    assert quantiles(values, (0.0, 0.5, 1.0)) == [
+        pytest.approx(v) for v in np.quantile(values, [0.0, 0.5, 1.0])
+    ]
+
+
+def test_quantiles_single_value():
+    assert quantiles([7.0], (0.5, 0.99)) == [7.0, 7.0]
+
+
+def test_quantiles_validation():
+    with pytest.raises(ValueError):
+        quantiles([], (0.5,))
+    with pytest.raises(ValueError):
+        quantiles([1.0], (1.5,))
+    with pytest.raises(ValueError):
+        quantiles([1.0], (-0.1,))
+
+
 def test_variability_pct_definition():
     # spread 2 around median 100 -> 100*(102-98)/(2*100) = 2%
     assert variability_pct([98.0, 100.0, 102.0]) == pytest.approx(2.0)
@@ -53,6 +82,11 @@ def test_variability_identical_runs_zero():
 
 def test_variability_single_value():
     assert variability_pct([5.0]) == 0.0
+
+
+def test_variability_empty_raises():
+    with pytest.raises(ValueError):
+        variability_pct([])
 
 
 def test_ewma_endpoints():
