@@ -89,6 +89,47 @@ def test_md_verlet_step(benchmark):
     assert benchmark(run) > 0
 
 
+def _force_loop_shaped_inputs(seed=7):
+    """Pair indices/forces shaped like the miniature MD force loop: a
+    settled water_ion_box neighbor interaction list."""
+    system = water_ion_box(dim=1, seed=seed)
+    integrator = VelocityVerlet(system, dt=0.0005, thermostat_t=1.0)
+    integrator.run(5)
+    rng = np.random.default_rng(seed)
+    n_pairs = 4 * system.n_atoms  # typical pairs-per-atom of the box
+    i = rng.integers(0, system.n_atoms, size=n_pairs)
+    j = rng.integers(0, system.n_atoms, size=n_pairs)
+    fvec = rng.normal(size=(n_pairs, 3))
+    return system.n_atoms, i, j, fvec
+
+
+def _add_at_reference(n, i, j, fvec):
+    """The pre-optimization kernel: two np.add.at scatter passes."""
+    forces = np.zeros((n, 3))
+    np.add.at(forces, i, fvec)
+    np.add.at(forces, j, -fvec)
+    return forces
+
+
+def test_scatter_add_at_reference(benchmark):
+    n, i, j, fvec = _force_loop_shaped_inputs()
+    forces = benchmark(_add_at_reference, n, i, j, fvec)
+    assert forces.shape == (n, 3)
+
+
+def test_scatter_bincount_kernel(benchmark):
+    from repro.util import scatter_add_pairs
+
+    n, i, j, fvec = _force_loop_shaped_inputs()
+    forces = benchmark(scatter_add_pairs, n, i, j, fvec)
+    # the bincount kernel must reproduce the add.at chain bit-for-bit
+    # on the force-loop shape (both accumulate per slot in encounter
+    # order); 1e-12 is the pinned ceiling, equality is the observed fact
+    reference = _add_at_reference(n, i, j, fvec)
+    np.testing.assert_allclose(forces, reference, rtol=0.0, atol=1e-12)
+    assert np.array_equal(forces, reference)
+
+
 def test_mpi_allreduce_round(benchmark):
     def run():
         eng = Engine()

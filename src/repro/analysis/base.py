@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.md.system import ParticleSystem
+from repro.util.scatter import scatter_add
 
 __all__ = ["Analysis", "Frame", "frame_from_system", "molecule_centers"]
 
@@ -76,12 +77,13 @@ def molecule_centers(
     """
     mols, inverse = np.unique(frame.molecule_ids, return_inverse=True)
     m = masses[:, None]
-    total_m = np.zeros((len(mols), 1))
-    np.add.at(total_m, inverse, m)
-    com_pos = np.zeros((len(mols), 3))
-    np.add.at(com_pos, inverse, m * frame.positions)
-    com_vel = np.zeros((len(mols), 3))
-    np.add.at(com_vel, inverse, m * frame.velocities)
+    total_m = scatter_add(np.zeros((len(mols), 1)), inverse, m)
+    com_pos = scatter_add(
+        np.zeros((len(mols), 3)), inverse, m * frame.positions
+    )
+    com_vel = scatter_add(
+        np.zeros((len(mols), 3)), inverse, m * frame.velocities
+    )
     return mols, com_pos / total_m, com_vel / total_m
 
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.base import Analysis, Frame, molecule_centers
 from repro.md.system import MASSES
+from repro.util.scatter import scatter_add
 
 __all__ = ["FullMSD", "MeanSquaredDisplacement", "MSD1D", "MSD2D"]
 
@@ -94,8 +95,8 @@ class MSD1D(_MSDBase):
         if self._bin_of_mol is None:
             self._assign_bins(frame)
         sq = np.sum(disp**2, axis=1)
-        np.add.at(self._sums, self._bin_of_mol, sq)
-        np.add.at(self._counts, self._bin_of_mol, 1.0)
+        scatter_add(self._sums, self._bin_of_mol, sq)
+        scatter_add(self._counts, self._bin_of_mol, 1.0)
         return len(disp)
 
     def result(self) -> np.ndarray:
@@ -140,8 +141,8 @@ class MSD2D(_MSDBase):
         if self._bin_of_mol is None:
             self._assign_bins(frame)
         sq = np.sum(disp**2, axis=1)
-        np.add.at(self._sums, self._bin_of_mol, sq)
-        np.add.at(self._counts, self._bin_of_mol, 1.0)
+        scatter_add(self._sums, self._bin_of_mol, sq)
+        scatter_add(self._counts, self._bin_of_mol, 1.0)
         # 2-D binning touches a quadratically larger bin structure —
         # the memory-intensity the paper calls out.
         return len(disp) + self.n_bins * self.n_bins

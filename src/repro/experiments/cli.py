@@ -351,6 +351,13 @@ def main(argv: list[str] | None = None) -> int:
         help="journal every controller decision to a JSONL audit file "
         "(replay/diff/timeline via the 'audit' subcommand)",
     )
+    run_p.add_argument(
+        "--no-shared-replica",
+        action="store_true",
+        help="disable the shared-replica fast path: every in-situ rank "
+        "computes its own MD/analysis replica (bit-identical results, "
+        "slower; exported to pool workers via SEESAW_SHARED_REPLICA)",
+    )
     trace_p = sub.add_parser(
         "trace",
         help="run a small traced in-situ job and write a Chrome trace",
@@ -523,6 +530,10 @@ def main(argv: list[str] | None = None) -> int:
     registry = None
     audit_journal = None
     scopes = contextlib.ExitStack()
+    if args.no_shared_replica:
+        from repro.insitu import use_shared_replica
+
+        scopes.enter_context(use_shared_replica(False))
     if args.trace is not None:
         trace_sink = ChromeTraceSink()
     if args.metrics is not None:

@@ -7,5 +7,27 @@ full-stack integration of every substrate.
 """
 
 from repro.insitu.coupler import InsituConfig, InsituResult, run_insitu
+from repro.insitu.replica import (
+    AnalysisEnsemble,
+    ReplicaKey,
+    ReplicaOrderError,
+    ReplicaPool,
+    SharedReplica,
+    merge_slices,
+    shared_replica_default,
+    use_shared_replica,
+)
 
-__all__ = ["InsituConfig", "InsituResult", "run_insitu"]
+__all__ = [
+    "AnalysisEnsemble",
+    "InsituConfig",
+    "InsituResult",
+    "ReplicaKey",
+    "ReplicaOrderError",
+    "ReplicaPool",
+    "SharedReplica",
+    "merge_slices",
+    "run_insitu",
+    "shared_replica_default",
+    "use_shared_replica",
+]

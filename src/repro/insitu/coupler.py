@@ -28,15 +28,23 @@ coupling mechanism the controllers interact with (partition split,
 pairing, tagged exchange, count verification, collective thermo,
 pre-synchronization allocation). Virtual compute durations come from
 the engines' measured operation counts via :mod:`repro.insitu.costs`.
+
+Because the replicas are bit-identical by construction, the host-side
+physics is computed **once** by default and memoized across ranks (the
+shared-replica fast path, :mod:`repro.insitu.replica`): one Verlet
+integration per step and one analysis update per synchronization
+instead of N of each, while every rank still performs all of its
+*virtual* actions individually. ``InsituConfig(shared_replica=False)``
+restores the fully replicated execution; both paths are pinned
+bit-identical in virtual time, thermo, analysis results and allocation
+decisions by ``tests/insitu/test_replica.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.analysis import Analysis, Frame, make_analysis
+from repro.analysis import Analysis, make_analysis
 from repro.cluster.machine import MachineSpec, theta
 from repro.core.controller import PowerController
 from repro.des.engine import Engine
@@ -58,6 +66,13 @@ from repro.insitu.costs import (
     SECONDS_PER_EXCHANGE_ATOM,
     SECONDS_PER_PAIR,
 )
+from repro.insitu.replica import (
+    AnalysisEnsemble,
+    ReplicaKey,
+    ReplicaPool,
+    merge_slices,
+    shared_replica_default,
+)
 from repro.metrics.registry import get_metrics
 from repro.metrics.timeseries import PeriodicSampler
 from repro.polimer import poli_init_power_manager, poli_power_alloc
@@ -69,6 +84,9 @@ from repro.workloads.profiles import PHASES
 SAMPLE_PERIOD_S = 0.01
 
 __all__ = ["InsituConfig", "InsituResult", "run_insitu"]
+
+# kept under its old private name for the analysis-side merge
+_merge_slices = merge_slices
 
 
 @dataclass(frozen=True)
@@ -89,6 +107,11 @@ class InsituConfig:
     #: of state of S"); one frame per synchronization, written by sim
     #: rank 0
     dump_path: str | None = None
+    #: compute rank-invariant MD/analysis work once and share it across
+    #: ranks (:mod:`repro.insitu.replica`). ``None`` defers to the
+    #: ambient default (on, unless ``SEESAW_SHARED_REPLICA=0`` or the
+    #: CLI's ``--no-shared-replica`` scope is active).
+    shared_replica: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_sim_ranks != self.n_ana_ranks:
@@ -108,6 +131,12 @@ class InsituConfig:
     def n_syncs(self) -> int:
         return self.n_verlet_steps // self.j
 
+    def resolve_shared_replica(self) -> bool:
+        """The effective fast-path switch for this job."""
+        if self.shared_replica is not None:
+            return self.shared_replica
+        return shared_replica_default()
+
 
 @dataclass
 class InsituResult:
@@ -123,24 +152,13 @@ class InsituResult:
     observation_log: list
     #: count-verification failures (step 4); always 0 in a correct run
     verification_failures: int = 0
-
-
-def _merge_slices(slices: list, box_lengths: np.ndarray, time: float) -> Frame:
-    """Rebuild a whole-system frame from per-rank snapshots."""
-    order = np.argsort(np.concatenate([s.atom_ids for s in slices]))
-    positions = np.concatenate([s.positions for s in slices])[order]
-    velocities = np.concatenate([s.velocities for s in slices])[order]
-    types = np.concatenate([s.types for s in slices])[order]
-    mols = np.concatenate([s.molecule_ids for s in slices])[order]
-    return Frame(
-        step=slices[0].step,
-        time=time,
-        box_lengths=box_lengths,
-        positions=positions,
-        velocities=velocities,
-        types=types,
-        molecule_ids=mols,
-    )
+    #: DES callbacks fired — part of the bit-identity contract
+    events_executed: int = 0
+    #: whether the shared-replica fast path was active
+    shared_replica: bool = False
+    #: replica memo hits/misses (0/0 on the per-rank path)
+    replica_hits: int = 0
+    replica_misses: int = 0
 
 
 def run_insitu(
@@ -159,6 +177,23 @@ def run_insitu(
     analysis_out: dict = {}
     managers: dict[int, object] = {}
     verification_failures = [0]
+
+    shared = cfg.resolve_shared_replica()
+    pool = ReplicaPool() if shared else None
+    replica = (
+        pool.acquire(
+            ReplicaKey(
+                dim=cfg.dim,
+                seed=cfg.seed,
+                dt=cfg.dt,
+                thermostat_t=cfg.thermostat_t,
+                n_sim_ranks=cfg.n_sim_ranks,
+            )
+        )
+        if shared
+        else None
+    )
+    ensemble = AnalysisEnsemble(cfg.analyses) if shared else None
 
     # The null tracer's begin/end are no-ops, so the per-sync span
     # bookkeeping below costs a method call when tracing is off.
@@ -203,16 +238,21 @@ def run_insitu(
         managers[rank] = pm
         yield from pm.initialize()
 
-        system = water_ion_box(dim=cfg.dim, seed=cfg.seed)
+        if shared:
+            system = replica.system
+            integrator = None
+            dd = None
+        else:
+            system = water_ion_box(dim=cfg.dim, seed=cfg.seed)
+            integrator = VelocityVerlet(
+                system, dt=cfg.dt, thermostat_t=cfg.thermostat_t
+            )
+            dd = DomainDecomposition(system, cfg.n_sim_ranks)
         if rank == 0:
             # analysis partition needs the box to rebuild frames
             yield comm.bcast(rank, system.box.lengths, root=0)
         else:
             yield comm.bcast(rank, None, root=0)
-        integrator = VelocityVerlet(
-            system, dt=cfg.dt, thermostat_t=cfg.thermostat_t
-        )
-        dd = DomainDecomposition(system, cfg.n_sim_ranks)
         node = pm.node
         pair_rank = cfg.n_sim_ranks + rank  # world rank of paired analysis
 
@@ -227,7 +267,12 @@ def run_insitu(
             exchange_span = tracer.begin(
                 "insitu.exchange", cat="insitu", tid=tid
             )
-            snap = dd.snapshot(rank, step=sync)
+            if shared:
+                snap = replica.snapshots(sync, at_step=(sync - 1) * cfg.j)[
+                    rank
+                ]
+            else:
+                snap = dd.snapshot(rank, step=sync)
             yield comm.send(rank, dest=pair_rank, payload=snap, tag=sync)
             yield node.compute(
                 PHASES["comm"], snap.n_atoms * SECONDS_PER_EXCHANGE_ATOM
@@ -238,12 +283,21 @@ def run_insitu(
             exchange_span.end(atoms=snap.n_atoms)
 
             n_local = snap.n_atoms
-            for _ in range(cfg.j):
+            for k in range(cfg.j):
                 step_span = tracer.begin(
                     "insitu.step", cat="insitu", tid=tid
                 )
                 # steps 1, 5, 6: integrate, neighbor, force
-                report = integrator.step()
+                if shared:
+                    report, thermo_rec = replica.step_report(
+                        (sync - 1) * cfg.j + k + 1
+                    )
+                else:
+                    report = integrator.step()
+                    # thermo is captured per-step on the owning replica
+                    thermo_rec = (
+                        compute_thermo(system, report) if rank == 0 else None
+                    )
                 yield node.compute(
                     PHASES["integrate"],
                     n_local * SECONDS_PER_ATOM_INTEGRATE,
@@ -269,15 +323,14 @@ def run_insitu(
                     PHASES["comm"], n_local * SECONDS_PER_ATOM_THERMO
                 )
                 if rank == 0:
-                    record = compute_thermo(system, report)
                     # cross-rank reduced energy replaces the local one
-                    record = type(record)(
-                        step=record.step,
-                        temperature=record.temperature,
-                        kinetic_energy=record.kinetic_energy,
+                    record = type(thermo_rec)(
+                        step=thermo_rec.step,
+                        temperature=thermo_rec.temperature,
+                        kinetic_energy=thermo_rec.kinetic_energy,
                         potential_energy=total_pe,
-                        total_energy=record.kinetic_energy + total_pe,
-                        density=record.density,
+                        total_energy=thermo_rec.kinetic_energy + total_pe,
+                        density=thermo_rec.density,
                     )
                     thermo_out.append(record)
                 step_span.end()
@@ -300,9 +353,11 @@ def run_insitu(
         managers[rank] = pm
         yield from pm.initialize()
         box_lengths = yield comm.bcast(rank, None, root=0)
-        analyses: list[Analysis] = [
-            make_analysis(name) for name in cfg.analyses
-        ]
+        analyses: list[Analysis] = (
+            ensemble.analyses
+            if shared
+            else [make_analysis(name) for name in cfg.analyses]
+        )
         node = pm.node
         local = rank - cfg.n_sim_ranks
         pair_rank = local  # world rank of paired simulation rank
@@ -324,20 +379,39 @@ def run_insitu(
                 verification_failures[0] += 1
             slices = yield pm.part_comm.allgather(pm.part_rank, snap)
             exchange_span.end(atoms=snap.n_atoms)
-            frame = _merge_slices(
-                slices, box_lengths, time=sync * cfg.j * cfg.dt
-            )
-            # step 7: run the analyses, charging measured work
-            for a in analyses:
-                analysis_span = tracer.begin(
-                    f"insitu.analysis.{a.name}", cat="insitu", tid=tid
+            frame_time = sync * cfg.j * cfg.dt
+            # step 7: run the analyses, charging measured work. On the
+            # fast path the merge + updates run once per sync (first
+            # rank to arrive); every rank still charges the shared
+            # work estimate to its own node.
+            if shared:
+                work = ensemble.update(
+                    sync,
+                    lambda: merge_slices(
+                        slices, box_lengths, time=frame_time
+                    ),
                 )
-                a.update(frame)
-                yield node.compute(
-                    ANALYSIS_KIND[a.name],
-                    a.work_estimate * SECONDS_PER_ANALYSIS_OP[a.name],
-                )
-                analysis_span.end()
+                for a in analyses:
+                    analysis_span = tracer.begin(
+                        f"insitu.analysis.{a.name}", cat="insitu", tid=tid
+                    )
+                    yield node.compute(
+                        ANALYSIS_KIND[a.name],
+                        work[a.name] * SECONDS_PER_ANALYSIS_OP[a.name],
+                    )
+                    analysis_span.end()
+            else:
+                frame = merge_slices(slices, box_lengths, time=frame_time)
+                for a in analyses:
+                    analysis_span = tracer.begin(
+                        f"insitu.analysis.{a.name}", cat="insitu", tid=tid
+                    )
+                    a.update(frame)
+                    yield node.compute(
+                        ANALYSIS_KIND[a.name],
+                        a.work_estimate * SECONDS_PER_ANALYSIS_OP[a.name],
+                    )
+                    analysis_span.end()
             sync_span.end()
         if local == 0:
             for a in analyses:
@@ -351,6 +425,12 @@ def run_insitu(
 
     world.run(main)
     pm0 = managers[0]
+    if shared:
+        hits, misses = pool.cache_stats()
+        hits += ensemble.hits
+        misses += ensemble.misses
+    else:
+        hits = misses = 0
     return InsituResult(
         config=cfg,
         virtual_time_s=engine.now,
@@ -359,4 +439,8 @@ def run_insitu(
         allocation_log=list(pm0.allocation_log),
         observation_log=list(pm0.observation_log),
         verification_failures=verification_failures[0],
+        events_executed=engine.events_executed,
+        shared_replica=shared,
+        replica_hits=hits,
+        replica_misses=misses,
     )

@@ -104,6 +104,32 @@ class DomainDecomposition:
             atom_ids=idx.copy(),
         )
 
+    def snapshot_all(self, step: int) -> list[Snapshot]:
+        """Every rank's :meth:`snapshot` in one pass over the system.
+
+        Computes the atom→rank map and the unwrapped coordinates once
+        instead of once per rank; each returned snapshot is bit-identical
+        to the corresponding ``snapshot(rank, step)``. This is the
+        shared-replica fast path's extraction kernel.
+        """
+        sys_ = self.system
+        ranks = self.rank_of_atoms()
+        unwrapped = sys_.unwrapped_positions()
+        out = []
+        for rank in range(self.n_ranks):
+            idx = np.where(ranks == rank)[0]
+            out.append(
+                Snapshot(
+                    step=step,
+                    positions=unwrapped[idx],
+                    velocities=sys_.velocities[idx],
+                    types=sys_.types[idx],
+                    molecule_ids=sys_.molecule_ids[idx],
+                    atom_ids=idx,
+                )
+            )
+        return out
+
     def counts(self) -> np.ndarray:
         """Atoms per rank (load-balance diagnostics; step 4's particle
         count verification uses these numbers)."""

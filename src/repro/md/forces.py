@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.md.neighbor import NeighborList
 from repro.md.system import CHARGES, ParticleSystem
+from repro.util.scatter import scatter_add_pairs
 
 __all__ = ["ForceField", "ForceResult"]
 
@@ -108,18 +109,15 @@ class ForceField:
 
         f_over_r = f_lj_over_r + f_coul_over_r
         fvec = f_over_r[:, None] * dr
-        forces = np.zeros_like(pos)
-        np.add.at(forces, i, fvec)
-        np.add.at(forces, j, -fvec)
+        forces = scatter_add_pairs(len(pos), i, j, fvec)
         return forces, float(np.sum(e_lj + e_coul)), len(i)
 
     def _bond_forces(
         self, system: ParticleSystem
     ) -> tuple[np.ndarray, float, int]:
         bonds = system.bonds
-        forces = np.zeros_like(system.positions)
         if len(bonds) == 0:
-            return forces, 0.0, 0
+            return np.zeros_like(system.positions), 0.0, 0
         i, j = bonds[:, 0], bonds[:, 1]
         dr = system.box.minimum_image(
             system.positions[i] - system.positions[j]
@@ -129,8 +127,7 @@ class ForceField:
         energy = 0.5 * self.bond_k * stretch**2
         # F_i = -k (r - r0) * dr/r
         f = (-self.bond_k * stretch / np.maximum(r, 1e-12))[:, None] * dr
-        np.add.at(forces, i, f)
-        np.add.at(forces, j, -f)
+        forces = scatter_add_pairs(system.n_atoms, i, j, f)
         return forces, float(energy.sum()), len(bonds)
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ property tests compare against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -70,6 +70,19 @@ class NeighborList:
     cutoff: float
     skin: float
     build_positions: np.ndarray  # positions at build time
+    #: scratch buffers for the per-step rebuild criterion — the check
+    #: runs every Verlet step, so the displacement temporaries are
+    #: reused across calls instead of reallocated (3 (n, 3) arrays per
+    #: step otherwise)
+    _disp: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _quot: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _disp_sq: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_pairs(self) -> int:
@@ -77,9 +90,23 @@ class NeighborList:
 
     def needs_rebuild(self, positions: np.ndarray, box: Box) -> bool:
         """True when any atom moved more than half the skin."""
-        dr = box.minimum_image(positions - self.build_positions)
-        max_disp = float(np.sqrt((dr**2).sum(axis=1)).max()) if len(dr) else 0.0
-        return max_disp > 0.5 * self.skin
+        n = len(positions)
+        if n == 0:
+            return False
+        if self._disp is None or len(self._disp) != n:
+            self._disp = np.empty((n, 3))
+            self._quot = np.empty((n, 3))
+            self._disp_sq = np.empty(n)
+        d, q = self._disp, self._quot
+        np.subtract(positions, self.build_positions, out=d)
+        # in-place minimum image: d -= L * round(d / L)
+        np.divide(d, box.lengths, out=q)
+        np.round(q, out=q)
+        q *= box.lengths
+        d -= q
+        np.einsum("ij,ij->i", d, d, out=self._disp_sq)
+        # max |dr| > skin/2  <=>  max dr^2 > (skin/2)^2 (sqrt-free)
+        return float(self._disp_sq.max()) > (0.5 * self.skin) ** 2
 
 
 def build_neighbor_list(

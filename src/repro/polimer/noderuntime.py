@@ -26,6 +26,64 @@ from repro.telemetry import get_tracer
 __all__ = ["NodeRuntime"]
 
 
+class _ComputeAwaitable:
+    """Awaitable executing one compute phase on a node runtime.
+
+    Module-level (instead of a per-call class definition) because
+    ``compute`` sits on the per-step hot path of every rank.
+    """
+
+    __slots__ = ("runtime", "kind", "work_s", "noise")
+
+    def __init__(self, runtime: "NodeRuntime", kind, work_s: float, noise):
+        self.runtime = runtime
+        self.kind = kind
+        self.work_s = work_s
+        self.noise = noise
+
+    def __sim_await__(self, process):
+        runtime = self.runtime
+        kind = self.kind
+        outcome = execute_phase(
+            kind,
+            runtime.node,
+            self.work_s,
+            runtime.domain,
+            t_start=runtime.engine.now,
+            noise_factors=self.noise,
+        )
+        duration = outcome.slowest
+        energy_j = float(outcome.energy_joules[0])
+        runtime._compute_energy_j += energy_j
+        runtime._busy_s += duration
+        runtime._counter_cache = None  # energy advanced: invalidate
+        tracer = runtime._tracer
+        if tracer is not None:
+            cap_w = runtime.current_cap_w
+            limited = cap_w < float(
+                kind.demand(runtime.node, runtime.node.f_turbo)
+            )
+            tracer.complete(
+                f"phase.{kind.name}",
+                duration,
+                cat="power",
+                tid=runtime.trace_tid,
+                ts=runtime.engine.now,
+                energy_j=energy_j,
+                cap_w=cap_w,
+                limited=limited,
+            )
+            if limited:
+                tracer.counter("power.limited_phases", cat="power").inc()
+        metrics = runtime._metrics
+        if metrics is not None:
+            metrics.histogram(f"phase.{kind.name}.s").observe(duration)
+            metrics.histogram(f"phase.{kind.name}.energy_j").observe(energy_j)
+        runtime.engine.schedule(
+            duration, lambda: process._advance(duration)
+        )
+
+
 class NodeRuntime:
     """One node's execution/power state in the per-rank DES world."""
 
@@ -49,7 +107,13 @@ class NodeRuntime:
         self._compute_energy_j = 0.0
         self._busy_s = 0.0
         self._created_at = engine.now
-        self._counter_cache: tuple[float, float] | None = None
+        #: memoized (now, cap_w, value) of the last energy_counter_j()
+        #: read — the polimer manager reads the counter several times
+        #: per synchronization at the same instant. Invalidated on
+        #: clock advance, cap change (both via the key) and on every
+        #: compute-energy update (explicitly, since those can land
+        #: without the clock moving).
+        self._counter_cache: tuple[float, float, float] | None = None
         #: trace lane for this node's phase spans (rank + 1; 0 = engine)
         self.trace_tid = 0
         tracer = get_tracer()
@@ -65,53 +129,7 @@ class NodeRuntime:
 
             yield node.compute(FORCE, 0.8)
         """
-        runtime = self
-
-        class _ComputeAwaitable:
-            def __sim_await__(self, process):
-                outcome = execute_phase(
-                    kind,
-                    runtime.node,
-                    work_s,
-                    runtime.domain,
-                    t_start=runtime.engine.now,
-                    noise_factors=noise,
-                )
-                duration = outcome.slowest
-                energy_j = float(outcome.energy_joules[0])
-                runtime._compute_energy_j += energy_j
-                runtime._busy_s += duration
-                tracer = runtime._tracer
-                if tracer is not None:
-                    cap_w = runtime.current_cap_w
-                    limited = cap_w < float(
-                        kind.demand(runtime.node, runtime.node.f_turbo)
-                    )
-                    tracer.complete(
-                        f"phase.{kind.name}",
-                        duration,
-                        cat="power",
-                        tid=runtime.trace_tid,
-                        ts=runtime.engine.now,
-                        energy_j=energy_j,
-                        cap_w=cap_w,
-                        limited=limited,
-                    )
-                    if limited:
-                        tracer.counter(
-                            "power.limited_phases", cat="power"
-                        ).inc()
-                metrics = runtime._metrics
-                if metrics is not None:
-                    metrics.histogram(f"phase.{kind.name}.s").observe(duration)
-                    metrics.histogram(f"phase.{kind.name}.energy_j").observe(
-                        energy_j
-                    )
-                runtime.engine.schedule(
-                    duration, lambda: process._advance(duration)
-                )
-
-        return _ComputeAwaitable()
+        return _ComputeAwaitable(self, kind, work_s, noise)
 
     # ------------------------------------------------------------------
     @property
@@ -127,12 +145,20 @@ class NodeRuntime:
         """Monotone cumulative energy, RAPL-counter style.
 
         Idle/wait gaps up to "now" are charged at ``min(p_wait, cap)``.
+        Reads at an unchanged (clock, cap) point are served from the
+        memoized last value; compute completions invalidate it.
         """
         now = self.engine.now
+        cap = self.current_cap_w
+        cached = self._counter_cache
+        if cached is not None and cached[0] == now and cached[1] == cap:
+            return cached[2]
         gap = (now - self._created_at) - self._busy_s
         gap = max(gap, 0.0)
-        wait_draw = min(self.node.p_wait_watts, self.current_cap_w)
-        return self._compute_energy_j + gap * wait_draw
+        wait_draw = min(self.node.p_wait_watts, cap)
+        value = self._compute_energy_j + gap * wait_draw
+        self._counter_cache = (now, cap, value)
+        return value
 
     def mean_power_w(self, t0: float, e0_j: float) -> float:
         """Average power since a previous counter reading at ``t0``."""

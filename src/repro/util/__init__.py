@@ -6,6 +6,7 @@ state of their own beyond what the caller passes in.
 """
 
 from repro.util.rng import RngStream, spawn_streams
+from repro.util.scatter import scatter_add, scatter_add_pairs
 from repro.util.stats import (
     RunningMean,
     ewma,
@@ -35,6 +36,8 @@ __all__ = [
     "joules",
     "median",
     "percent_change",
+    "scatter_add",
+    "scatter_add_pairs",
     "spawn_streams",
     "summarize",
     "variability_pct",

@@ -130,6 +130,56 @@ def test_pending_counts_live_events():
     assert eng.pending == 1
 
 
+def test_pending_counter_matches_heap_scan():
+    """The O(1) live counter must track the O(n) reference scan through
+    every transition: schedule, schedule_at, cancel, double-cancel, and
+    event dispatch (including popping over cancelled entries)."""
+    eng = Engine()
+    assert eng.pending == eng._pending_scan() == 0
+
+    handles = [eng.schedule(float(i + 1), lambda: None) for i in range(6)]
+    handles.append(eng.schedule_at(10.0, lambda: None))
+    assert eng.pending == eng._pending_scan() == 7
+
+    handles[1].cancel()
+    handles[4].cancel()
+    assert eng.pending == eng._pending_scan() == 5
+
+    handles[1].cancel()  # double-cancel must not decrement twice
+    assert eng.pending == eng._pending_scan() == 5
+
+    while eng.step():
+        assert eng.pending == eng._pending_scan()
+    assert eng.pending == eng._pending_scan() == 0
+    assert eng.events_executed == 5
+
+
+def test_pending_counter_with_reschedules_during_run():
+    """Cancel-and-reschedule from inside callbacks (the power-cap
+    re-actuation pattern) keeps the counter consistent."""
+    eng = Engine()
+    scans = []
+
+    def reschedule():
+        h = eng.schedule(1.0, lambda: None)
+        h.cancel()
+        eng.schedule(0.5, lambda: scans.append(eng.pending == eng._pending_scan()))
+
+    eng.schedule(1.0, reschedule)
+    eng.run()
+    assert scans == [True]
+    assert eng.pending == eng._pending_scan() == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_counter():
+    eng = Engine()
+    h = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    eng.step()  # fires h
+    h.cancel()  # late cancel of an already-fired handle
+    assert eng.pending == eng._pending_scan() == 1
+
+
 def test_events_executed_counter():
     eng = Engine()
     for _ in range(7):

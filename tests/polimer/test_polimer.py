@@ -61,6 +61,65 @@ def test_mean_power_between_readings():
     assert node.mean_power_w(t0, e0) == pytest.approx(105.0)
 
 
+def test_energy_counter_cached_at_same_instant():
+    eng = Engine()
+    node = NodeRuntime(eng, THETA_NODE, 110.0, actuation_delay_s=0.0)
+    eng.run_until(2.0)
+    v1 = node.energy_counter_j()
+    assert node._counter_cache == (2.0, 110.0, v1)
+    # repeated reads at the same (now, cap) serve the memoized value
+    assert node.energy_counter_j() == v1
+    assert node._counter_cache == (2.0, 110.0, v1)
+
+
+def test_energy_counter_cache_invalidated_by_clock_advance():
+    eng = Engine()
+    node = NodeRuntime(eng, THETA_NODE, 110.0, actuation_delay_s=0.0)
+    eng.run_until(1.0)
+    v1 = node.energy_counter_j()
+    eng.run_until(3.0)
+    v2 = node.energy_counter_j()
+    assert v2 > v1  # stale cache would have returned v1
+    assert v2 - v1 == pytest.approx(2.0 * 105.0)
+    assert node._counter_cache[0] == 3.0
+
+
+def test_energy_counter_cache_invalidated_by_cap_change():
+    eng = Engine()
+    # cap below p_wait (105 W) so the wait draw is cap-clipped and a
+    # cap change at a frozen clock must change the counter value
+    node = NodeRuntime(eng, THETA_NODE, 100.0, actuation_delay_s=0.0)
+    eng.run_until(10.0)
+    v_low = node.energy_counter_j()
+    assert v_low == pytest.approx(10.0 * 100.0)
+    node.request_cap(110.0)  # immediate: zero actuation delay
+    v_high = node.energy_counter_j()
+    assert v_high == pytest.approx(10.0 * 105.0)
+    assert node._counter_cache == (10.0, 110.0, v_high)
+
+
+def test_energy_counter_cache_invalidated_by_compute():
+    eng = Engine()
+    node = NodeRuntime(eng, THETA_NODE, 150.0, actuation_delay_s=0.0)
+    from repro.des import Process
+
+    readings = []
+
+    def body():
+        readings.append(node.energy_counter_j())
+        yield node.compute(PHASES["force"], 1.0)
+        # same wall pattern as the manager: read right after the phase
+        readings.append(node.energy_counter_j())
+        return None
+
+    Process(eng, body())
+    eng.run()
+    assert node._counter_cache is not None
+    assert readings[1] > readings[0]
+    # compute energy dominates the spin-wait floor over that span
+    assert readings[1] - readings[0] > (eng.now * 105.0) * 0.99
+
+
 # ------------------------------------------------------------ PowerManager
 def run_managed_world(controller, n_sim=2, n_ana=2, syncs=3, work=0.5):
     """Tiny world: sim ranks compute 2x the work of analysis ranks."""
