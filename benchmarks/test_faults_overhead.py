@@ -1,0 +1,95 @@
+"""Fault-injector overhead gate.
+
+ISSUE acceptance: with faults disabled the injector adds <3 % to a
+DES-backed run. Two null paths are gated: no injector at all (the
+default ambient), and an installed injector with an *empty* plan —
+``enabled`` but not ``active``, so the engine calls ``on_advance`` on
+every clock advance and the RAPL layer consults ``actuation`` on every
+request, both of which must stay near-free. Timed by hand (interleaved
+median-of-N) so the assertion also runs under ``--benchmark-disable``.
+"""
+
+import time
+
+from repro.cluster.node import THETA_NODE
+from repro.core import SeeSAwController
+from repro.faults import FaultInjector, FaultPlan, use_faults
+from repro.insitu import InsituConfig, run_insitu
+
+ROUNDS = 7
+
+#: ISSUE acceptance threshold plus measurement slop (see the telemetry
+#: overhead gate for the rationale: short runs inherit timer jitter)
+BUDGET = 0.03
+
+RANKS = 2
+CFG = InsituConfig(n_sim_ranks=RANKS, n_ana_ranks=RANKS, n_verlet_steps=10)
+
+
+def _job():
+    controller = SeeSAwController(2 * RANKS * 110.0, RANKS, RANKS, THETA_NODE)
+    return run_insitu(CFG, controller)
+
+
+def _median(xs):
+    xs = sorted(xs)
+    return xs[len(xs) // 2]
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_empty_plan_injector_overhead_under_3_percent(benchmark):
+    def uninjected():
+        return _time(_job)
+
+    def injected():
+        with use_faults(FaultInjector(FaultPlan())):
+            return _time(_job)
+
+    # warm both paths (imports, caches) before measuring
+    uninjected()
+    injected()
+
+    base, null = [], []
+    for _ in range(ROUNDS):  # interleaved: drift hits both variants
+        base.append(uninjected())
+        null.append(injected())
+
+    med_base = _median(base)
+    med_null = _median(null)
+    spread = (max(base) - min(base)) / med_base
+    overhead = med_null / med_base - 1.0
+    print(
+        f"\nempty-plan injector overhead: {overhead * 100:+.2f}% "
+        f"(base {med_base * 1e3:.1f} ms, injected {med_null * 1e3:.1f} ms, "
+        f"uninjected spread {spread * 100:.1f}%)"
+    )
+    assert overhead < BUDGET + spread
+
+    benchmark.pedantic(injected, iterations=1, rounds=1, warmup_rounds=0)
+
+
+def test_active_plan_stays_bounded(benchmark):
+    """Sanity bound: a firing fault plan stays within 2x the baseline."""
+    plan = FaultPlan.sample(5, CFG.world_size, horizon_s=4.0)
+
+    def faulted():
+        with use_faults(FaultInjector(plan)):
+            return _time(_job)
+
+    _job()  # warm
+    faulted()
+    base = _median([_time(_job) for _ in range(3)])
+    med = _median([faulted() for _ in range(3)])
+    print(
+        f"\nactive-plan overhead: {med / base - 1.0:+.1%} "
+        f"(base {base * 1e3:.1f} ms, faulted {med * 1e3:.1f} ms)"
+    )
+    # faulted runs do more virtual work (slowdowns, stalls, delays);
+    # the bound only guards against pathological per-event scanning
+    assert med < 2.0 * base
+    benchmark.pedantic(faulted, iterations=1, rounds=1, warmup_rounds=0)

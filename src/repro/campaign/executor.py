@@ -37,6 +37,7 @@ from repro.campaign.cells import CellSpec, cell_label, run_cell
 from repro.campaign.hashing import cell_key
 from repro.campaign.journal import RunJournal
 from repro.campaign.store import CellStore
+from repro.faults.injector import get_faults
 from repro.telemetry import get_tracer
 
 __all__ = ["CampaignEngine", "CellFailure", "get_engine", "use_engine"]
@@ -131,6 +132,31 @@ class CampaignEngine:
     def run_cells(self, specs: Sequence[CellSpec]) -> list:
         """Execute ``specs``; returns results in submission order."""
         specs = list(specs)
+        faults = get_faults()
+        if faults.enabled and faults.active:
+            # Fault-injected runs bypass the engine entirely: pool
+            # workers don't inherit the ambient injector (results would
+            # silently diverge from serial), and faulted results must
+            # never land in the content-addressed store (the cell key
+            # doesn't encode the fault plan, so a later clean run would
+            # read back a poisoned entry).
+            self._total += len(specs)
+            results = []
+            for spec in specs:
+                t0 = time.perf_counter()
+                result = self.run_fn(spec)
+                self.journal.cell(
+                    cell_key(spec),
+                    cell_label(spec),
+                    "faulted",
+                    time.perf_counter() - t0,
+                    backend="serial",
+                )
+                self._trace_cell(spec, "faulted", time.perf_counter() - t0)
+                self._tick()
+                results.append(result)
+            self._finish_progress()
+            return results
         keys = [cell_key(s) for s in specs]
         results: list = [None] * len(specs)
         self._total += len(specs)

@@ -176,6 +176,58 @@ class PowerController(abc.ABC):
                 abs(obs.sim.work_time_s - obs.ana.work_time_s)
             )
 
+    def guard_observation(
+        self, obs: Observation, require_full_nodes: bool = False
+    ) -> bool:
+        """Is ``obs`` sound enough to act on? False means **hold**.
+
+        Under fault injection an observation may arrive with zero
+        measured ranks in a partition (every report dropped or aged
+        out) or with partial per-node arrays. Acting on such data would
+        divide by zero or mis-shape the cap vectors, so the controller
+        holds instead: the caller returns ``None``, current caps stay
+        installed, and — since those caps were δ-clamped when decided —
+        the budget and clamping invariants keep holding for free.
+
+        ``require_full_nodes`` is for per-node strategies (power-aware,
+        time-aware, hierarchical) whose arithmetic needs one entry per
+        node; partition-total strategies tolerate surviving-rank
+        aggregates. A hold lands in the audit journal (kind ``hold``)
+        and on the ``core.degraded_holds`` counter so resilience is
+        visible in ``audit replay``; stale-but-usable observations are
+        counted on ``core.stale_observations`` without holding.
+        """
+        reason: str | None = None
+        if obs.sim.n_nodes == 0 or obs.ana.n_nodes == 0:
+            reason = "empty_partition"
+        elif require_full_nodes and (
+            obs.sim.n_nodes != self.n_sim or obs.ana.n_nodes != self.n_ana
+        ):
+            reason = "partial_nodes"
+        metrics = get_metrics()
+        if metrics.enabled and (obs.sim_stale or obs.ana_stale):
+            metrics.counter("core.stale_observations").inc()
+        if reason is None:
+            return True
+        audit = get_audit()
+        if audit.enabled:
+            audit.record_hold(
+                self.name,
+                obs.step,
+                reason,
+                {
+                    "sim_nodes": obs.sim.n_nodes,
+                    "ana_nodes": obs.ana.n_nodes,
+                    "sim_missing": obs.sim_missing,
+                    "ana_missing": obs.ana_missing,
+                    "sim_stale": obs.sim_stale,
+                    "ana_stale": obs.ana_stale,
+                },
+            )
+        if metrics.enabled:
+            metrics.counter("core.degraded_holds").inc()
+        return False
+
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def initial_allocation(self) -> Allocation:

@@ -84,6 +84,10 @@ class ExploringSeeSAwController(SeeSAwController):
         )
 
     def observe(self, obs: Observation) -> Allocation | None:
+        # a degraded observation would corrupt the probe objective
+        # (work times of surviving ranks only): hold, don't sample
+        if not self.guard_observation(obs):
+            return None
         if self._probe_state is not None:
             state = self._probe_state
             state["samples"].append(self._objective(obs))

@@ -117,6 +117,10 @@ class HierarchicalSeeSAwController(SeeSAwController):
         return alloc
 
     def observe(self, obs: Observation) -> Allocation | None:
+        # the level-2 split needs one energy sample per node: hold on
+        # partial/empty measurements before touching the accumulators
+        if not self.guard_observation(obs, require_full_nodes=True):
+            return None
         # accumulate per-node energies for the level-2 split
         self._acc["sim"].append(
             obs.sim.node_epoch_times_s * obs.sim.node_power_w

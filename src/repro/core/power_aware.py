@@ -117,6 +117,10 @@ class PowerAwareController(PowerController):
 
     def observe(self, obs: Observation) -> Allocation | None:
         self._audit_observe(obs)
+        # per-node arithmetic needs one entry per node: hold on
+        # partial/empty measurements rather than mis-shape the caps
+        if not self.guard_observation(obs, require_full_nodes=True):
+            return None
         measured = np.concatenate([obs.sim.node_power_w, obs.ana.node_power_w])
         self._power_acc.append(measured)
         if len(self._power_acc) < self.window:

@@ -194,6 +194,8 @@ class SeeSAwController(PowerController):
 
     def observe(self, obs: Observation) -> Allocation | None:
         self._audit_observe(obs)
+        if not self.guard_observation(obs):
+            return None  # degraded measurement: hold current caps
         # Accumulate this synchronization into the window.
         self._t_sim.add(obs.sim.work_time_s)
         self._p_sim.add(obs.sim.total_power_w)

@@ -59,4 +59,7 @@ class StaticController(PowerController):
 
     def observe(self, obs: Observation) -> Allocation | None:
         self._audit_observe(obs)
-        return None  # static: never reallocates
+        # static never reallocates, but still flags degraded input so
+        # holds are visible in the audit journal under faults
+        self.guard_observation(obs)
+        return None

@@ -123,6 +123,10 @@ class TimeAwareController(PowerController):
 
     def observe(self, obs: Observation) -> Allocation | None:
         self._audit_observe(obs)
+        # per-node arithmetic needs one entry per node: hold on
+        # partial/empty measurements rather than mis-shape the caps
+        if not self.guard_observation(obs, require_full_nodes=True):
+            return None
         times = np.concatenate(
             [obs.sim.node_epoch_times_s, obs.ana.node_epoch_times_s]
         )

@@ -60,13 +60,35 @@ class PartitionMeasurement:
 
 @dataclass(frozen=True)
 class Observation:
-    """One synchronization's worth of feedback."""
+    """One synchronization's worth of feedback.
+
+    The quality fields describe how much of the measurement actually
+    arrived: under fault injection, ranks may fail to report
+    (``*_missing`` — dropped or discarded as older than the manager's
+    max age) or re-send an old report (``*_stale`` — aggregated, but
+    flagged). A healthy run has all four at zero; controllers consult
+    them via :meth:`PowerController.guard_observation`.
+    """
 
     #: synchronization index (0-based; step 0 is outside the main loop
     #: and ignored by the runner, matching §VII-B1)
     step: int
     sim: PartitionMeasurement
     ana: PartitionMeasurement
+    #: ranks whose report never made it into this observation
+    sim_missing: int = 0
+    ana_missing: int = 0
+    #: ranks whose report was aggregated but carried an old sequence
+    sim_stale: int = 0
+    ana_stale: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any rank's measurement is missing or stale."""
+        return bool(
+            self.sim_missing or self.ana_missing
+            or self.sim_stale or self.ana_stale
+        )
 
 
 @dataclass(frozen=True)

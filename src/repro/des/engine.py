@@ -25,6 +25,7 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from repro.faults.injector import get_faults
 from repro.metrics.audit import get_audit
 from repro.metrics.registry import get_metrics
 from repro.telemetry import get_tracer
@@ -112,6 +113,14 @@ class Engine:
         audit = get_audit()
         if audit.enabled:
             audit.bind_clock(lambda: self._now)
+        # Fault windows open/close at exact virtual times via the same
+        # inline-hook discipline as the sampler: markers are fired on
+        # clock advances, never as heap events (which would move the
+        # virtual end time and break bit-identity).
+        faults = get_faults()
+        self._faults = faults if faults.enabled else None
+        if self._faults is not None:
+            faults.bind_engine(self)
         #: inline sampler hook fired on clock advances (never a heap
         #: event — synthetic events would move the virtual end time and
         #: break the bit-identity contract). See attach_sampler().
@@ -180,6 +189,8 @@ class Engine:
         if handle is None:
             return False
         self._now = handle.time
+        if self._faults is not None:
+            self._faults.on_advance(self._now)
         if self._sampler is not None:
             self._sampler(self._now)
         callback = handle.callback

@@ -15,6 +15,9 @@ Usage::
     seesaw-experiments audit timeline audit.jsonl
     seesaw-experiments bench capture --out benchmarks/baselines
     seesaw-experiments bench check --baselines benchmarks/baselines
+    seesaw-experiments run fig2 --chaos-seed 7
+    seesaw-experiments run fig2 --faults "slowdown@1.0+2.5x1.8:rank3"
+    seesaw-experiments chaos --seed 7 --events chaos-events.jsonl
 
 ``--quick`` trades statistical fidelity for speed (fewer Verlet steps,
 single run instead of median-of-3) — useful for smoke-testing.
@@ -43,6 +46,17 @@ and writes a report (JSON for ``.json`` paths, Prometheus text
 otherwise); ``run ... --audit PATH`` journals every controller decision
 to JSONL. ``audit replay`` re-executes a journal's decisions from their
 recorded inputs and verifies the cap schedule (exit 1 on mismatch);
+
+Fault injection (see :mod:`repro.faults`): ``run ... --faults SPEC``
+installs a declarative fault plan (JSON path or the compact
+``kind@START+DUR[xMAG][:rankN]`` DSL) over the in-process runs;
+``run ... --chaos-seed N`` samples a seed-replayable plan instead.
+Faulted runs bypass the cell cache so poisoned results never persist.
+``trace`` accepts the same two flags plus ``--audit PATH``, giving a
+DES-backed faulted job whose holds show up in ``audit replay``.
+The ``chaos`` subcommand sweeps a controllers × fault-kinds matrix and
+reports completion/slowdown/allocation-stability per cell (exit 1 when
+a cell crashes, breaches the budget, or regresses past the threshold);
 ``audit diff`` compares two journals decision-by-decision (exit 1 iff
 they diverge); ``audit timeline`` renders the Fig. 1/2-style power
 split in the terminal. ``bench capture``/``bench check`` maintain the
@@ -191,8 +205,37 @@ def _cmd_trace(args) -> int:
     )
     controller = build_controller(args.approach, shape)
     sink = ChromeTraceSink()
-    with use_tracer(Tracer(sink)):
-        result = run_insitu(cfg, controller)
+    audit_journal = None
+    scopes = contextlib.ExitStack()
+    scopes.enter_context(use_tracer(Tracer(sink)))
+    if args.audit is not None:
+        from repro.metrics import AuditJournal, use_audit
+
+        audit_journal = AuditJournal(args.audit)
+        scopes.enter_context(use_audit(audit_journal))
+    if args.faults is not None and args.chaos_seed is not None:
+        print("--faults and --chaos-seed are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.faults is not None or args.chaos_seed is not None:
+        # after the tracer/audit scopes: the injector caches ambients
+        from repro.faults import FaultInjector, FaultPlan, use_faults
+
+        plan = (
+            FaultPlan.from_spec(args.faults)
+            if args.faults is not None
+            else FaultPlan.sample(args.chaos_seed, cfg.world_size)
+        )
+        scopes.enter_context(use_faults(FaultInjector(plan)))
+    try:
+        with scopes:
+            result = run_insitu(cfg, controller)
+    finally:
+        if audit_journal is not None:
+            audit_journal.close()
+    if result.fault_events:
+        print(f"[{len(result.fault_events)} fault marker(s) fired]")
+    if audit_journal is not None:
+        print(f"[audit journal -> {args.audit}]")
     problems = validate_spans(sink.records)
     if problems:
         for p in problems:
@@ -236,6 +279,52 @@ def _cmd_audit(args) -> int:
         return 1
     # timeline
     print(render_timeline(load_journal(args.journal)))
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Sweep the controllers × fault-kinds resilience matrix."""
+    from repro.faults.chaos import DEFAULT_CONTROLLERS, run_chaos_matrix
+    from repro.faults.plan import FaultKind
+
+    controllers = (
+        tuple(c.strip() for c in args.controllers.split(",") if c.strip())
+        if args.controllers
+        else DEFAULT_CONTROLLERS
+    )
+    kinds = None
+    if args.kinds:
+        try:
+            kinds = tuple(
+                FaultKind(k.strip())
+                for k in args.kinds.split(",")
+                if k.strip()
+            )
+        except ValueError as exc:
+            print(
+                f"{exc}; choose from "
+                f"{', '.join(k.value for k in FaultKind)}",
+                file=sys.stderr,
+            )
+            return 2
+    result = run_chaos_matrix(
+        controllers=controllers,
+        kinds=kinds,
+        seed=args.seed,
+        steps=args.steps,
+        ranks=args.ranks,
+        budget_w=args.budget,
+        events_path=args.events,
+    )
+    print(result.render())
+    if args.events is not None:
+        print(f"[fault events -> {args.events}]")
+    problems = result.failures(args.fail_threshold)
+    if problems:
+        for p in problems:
+            print(f"resilience gate: {p}", file=sys.stderr)
+        return 1
+    print("\nall cells within the resilience gate")
     return 0
 
 
@@ -352,6 +441,32 @@ def main(argv: list[str] | None = None) -> int:
         "(replay/diff/timeline via the 'audit' subcommand)",
     )
     run_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject faults into the DES-backed in-process runs "
+        "(analytic experiments are unaffected): a fault-plan JSON "
+        "path or the DSL 'kind@START+DUR[xMAG][:rankN];...' "
+        "(kinds: slowdown crash cap_drop cap_lag cap_skew meas_drop "
+        "meas_stale meas_garble mpi_delay)",
+    )
+    run_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sample a seed-replayable fault plan instead of --faults "
+        "(same seed => byte-identical fault schedule)",
+    )
+    run_p.add_argument(
+        "--chaos-horizon",
+        type=float,
+        default=20.0,
+        metavar="S",
+        help="virtual-time horizon the sampled plan covers "
+        "(default: 20 s; only with --chaos-seed)",
+    )
+    run_p.add_argument(
         "--no-shared-replica",
         action="store_true",
         help="disable the shared-replica fast path: every in-situ rank "
@@ -402,6 +517,27 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument(
         "--seed", type=int, default=2020, help="job seed (default: 2020)"
     )
+    trace_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject faults into the traced job (plan JSON path or DSL)",
+    )
+    trace_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sample a fault plan for the traced job instead of --faults",
+    )
+    trace_p.add_argument(
+        "--audit",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="journal the traced job's decisions (and fault windows / "
+        "degraded-observation holds) to a JSONL audit file",
+    )
 
     audit_p = sub.add_parser(
         "audit",
@@ -425,6 +561,69 @@ def main(argv: list[str] | None = None) -> int:
         "timeline", help="terminal power-split timeline of one journal"
     )
     timeline_p.add_argument("journal", type=Path, help="audit JSONL path")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="sweep controllers x fault kinds; report resilience per cell",
+        description="Chaos-test the controllers: for every controller "
+        "run a clean baseline, then one faulted run per fault kind "
+        "under a seeded fault plan, and report completion, slowdown, "
+        "allocation stability, and budget compliance per cell. Exits 1 "
+        "when any cell crashes, breaches the budget, or (for "
+        "non-timing faults) regresses past --fail-threshold.",
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    chaos_p.add_argument(
+        "--controllers",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated approaches (default: all four)",
+    )
+    chaos_p.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K,L,...",
+        help="comma-separated fault kinds (default: the full taxonomy)",
+    )
+    chaos_p.add_argument(
+        "--steps",
+        type=int,
+        default=8,
+        metavar="N",
+        help="Verlet steps per run (default: 8)",
+    )
+    chaos_p.add_argument(
+        "--ranks",
+        type=int,
+        default=2,
+        metavar="N",
+        help="ranks per partition (default: 2)",
+    )
+    chaos_p.add_argument(
+        "--budget",
+        type=float,
+        default=110.0,
+        metavar="W",
+        help="per-node power budget in watts (default: 110)",
+    )
+    chaos_p.add_argument(
+        "--events",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write every fired fault-marker row (tagged with its "
+        "cell) as JSONL",
+    )
+    chaos_p.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="max tolerated fractional slowdown for non-timing fault "
+        "kinds (default: 0.25)",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -491,6 +690,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "audit":
         return _cmd_audit(args)
 
+    if args.command == "chaos":
+        if args.steps < 1 or args.ranks < 1:
+            parser.error("--steps and --ranks must be >= 1")
+        return _cmd_chaos(args)
+
     if args.command == "bench":
         return _cmd_bench(args)
 
@@ -498,6 +702,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--runs must be >= 1")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.faults is not None and args.chaos_seed is not None:
+        parser.error("--faults and --chaos-seed are mutually exclusive")
 
     names = (
         sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -551,6 +757,28 @@ def main(argv: list[str] | None = None) -> int:
 
         audit_journal = AuditJournal(args.audit)
         scopes.enter_context(use_audit(audit_journal))
+    if args.faults is not None or args.chaos_seed is not None:
+        # constructed after the tracer/metrics/audit scopes: the
+        # injector caches those ambients at build time
+        from repro.faults import FaultInjector, FaultPlan, use_faults
+
+        if args.faults is not None:
+            try:
+                plan = FaultPlan.from_spec(args.faults)
+            except ValueError as exc:
+                parser.error(str(exc))
+        else:
+            # 16 ranks covers the paper jobs' world sizes; per-rank
+            # faults drawn beyond a smaller world simply never match
+            plan = FaultPlan.sample(
+                args.chaos_seed, n_ranks=16, horizon_s=args.chaos_horizon
+            )
+        scopes.enter_context(use_faults(FaultInjector(plan)))
+        print(
+            f"[faults: {len(plan)} event(s), kinds "
+            f"{', '.join(plan.kinds) or 'none'}; cell cache bypassed]",
+            file=sys.stderr,
+        )
 
     engine, journal = _build_engine(args)
     try:

@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the in-situ power testbed.
+
+:mod:`repro.faults.plan` declares *what* goes wrong (typed, windowed
+:class:`FaultEvent` schedules — declarative or seed-sampled);
+:mod:`repro.faults.injector` decides *when consumers see it* (pure
+``(plan, t, rank)`` queries + exact-virtual-time markers fired from the
+DES engine); :mod:`repro.faults.chaos` sweeps a fault matrix across the
+controllers and scores resilience (imported lazily by the CLI — it
+pulls in the coupler, so it must not be imported here).
+"""
+
+from repro.faults.injector import (
+    ActuationFault,
+    FaultInjector,
+    NULL_FAULTS,
+    get_faults,
+    use_faults,
+)
+from repro.faults.plan import (
+    SAMPLED_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
+
+__all__ = [
+    "ActuationFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "NULL_FAULTS",
+    "SAMPLED_KINDS",
+    "get_faults",
+    "use_faults",
+]

@@ -1,0 +1,234 @@
+"""Chaos matrix: sweep controllers × fault kinds, report resilience.
+
+For every controller a clean baseline run establishes the fault-free
+virtual completion time, then one faulted run per fault kind replays
+the *same job* under a seeded :class:`~repro.faults.plan.FaultPlan`
+containing only that kind. Each cell reports:
+
+* **completion** — did the run finish without an exception;
+* **slowdown** — faulted vs. baseline virtual time;
+* **allocation stability** — the standard deviation of the simulation
+  partition's cap total across decisions (a resilient controller holds
+  its allocation under measurement faults rather than thrashing);
+* **budget** — whether any installed allocation exceeded the budget.
+
+The gate (:meth:`ChaosResult.failures`) fails a cell that crashed,
+exceeded the budget, or — for fault kinds that do not physically slow
+the machine — regressed completion time beyond ``fail_threshold``.
+Kinds in :data:`TIMING_FAULT_KINDS` stall compute or delay messages by
+construction, so their slowdown is expected and only completion and
+budget are enforced.
+
+This module imports the coupler and is therefore *not* re-exported
+from :mod:`repro.faults` (the DES engine imports the injector; pulling
+the coupler in from the package ``__init__`` would cycle). The CLI
+imports it lazily.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector, NULL_FAULTS, use_faults
+from repro.faults.plan import FaultKind, FaultPlan
+
+__all__ = [
+    "ChaosCell",
+    "ChaosResult",
+    "DEFAULT_CONTROLLERS",
+    "TIMING_FAULT_KINDS",
+    "run_chaos_matrix",
+]
+
+#: the paper's four approaches (same set the experiment runner builds)
+DEFAULT_CONTROLLERS = ("static", "power-aware", "time-aware", "seesaw")
+
+#: kinds that physically stall compute or delay messages — their
+#: slowdown is injected, not a controller failure, so the gate does not
+#: apply ``fail_threshold`` to them
+TIMING_FAULT_KINDS = frozenset(
+    {FaultKind.SLOWDOWN, FaultKind.CRASH, FaultKind.MPI_DELAY}
+)
+
+
+@dataclass
+class ChaosCell:
+    """One (controller, fault kind) run of the matrix."""
+
+    controller: str
+    kind: str
+    ok: bool
+    error: str = ""
+    virtual_time_s: float = 0.0
+    baseline_time_s: float = 0.0
+    n_decisions: int = 0
+    cap_std_w: float = 0.0
+    budget_ok: bool = True
+    n_fault_windows: int = 0
+
+    @property
+    def slowdown(self) -> float:
+        """Faulted time over baseline time (1.0 = no regression)."""
+        if not self.ok or self.baseline_time_s <= 0:
+            return float("inf") if not self.ok else 1.0
+        return self.virtual_time_s / self.baseline_time_s
+
+
+@dataclass
+class ChaosResult:
+    """The full matrix plus the per-controller baselines."""
+
+    seed: int
+    cells: list[ChaosCell] = field(default_factory=list)
+    baselines: dict[str, float] = field(default_factory=dict)
+
+    def failures(self, fail_threshold: float) -> list[str]:
+        """Gate violations: crashes, budget breaches, excess slowdown."""
+        problems = []
+        for c in self.cells:
+            tag = f"{c.controller}/{c.kind}"
+            if not c.ok:
+                problems.append(f"{tag}: crashed ({c.error})")
+                continue
+            if not c.budget_ok:
+                problems.append(f"{tag}: allocation exceeded the budget")
+            timing = FaultKind(c.kind) in TIMING_FAULT_KINDS
+            if not timing and c.slowdown - 1.0 > fail_threshold:
+                problems.append(
+                    f"{tag}: slowdown {100 * (c.slowdown - 1):.1f}% "
+                    f"> {100 * fail_threshold:.0f}% threshold"
+                )
+        return problems
+
+    def render(self) -> str:
+        header = (
+            f"{'controller':<12} {'fault':<11} {'status':<7} "
+            f"{'time (s)':>9} {'slowdown':>9} {'decisions':>9} "
+            f"{'cap σ (W)':>10} {'budget':>7}"
+        )
+        lines = [
+            f"chaos matrix (seed {self.seed}): "
+            f"{len(self.baselines)} controllers x "
+            f"{len(self.cells) // max(len(self.baselines), 1)} fault kinds",
+            header,
+            "-" * len(header),
+        ]
+        for c in self.cells:
+            if c.ok:
+                lines.append(
+                    f"{c.controller:<12} {c.kind:<11} {'ok':<7} "
+                    f"{c.virtual_time_s:>9.3f} "
+                    f"{100 * (c.slowdown - 1):>+8.1f}% "
+                    f"{c.n_decisions:>9d} {c.cap_std_w:>10.2f} "
+                    f"{'ok' if c.budget_ok else 'OVER':>7}"
+                )
+            else:
+                lines.append(
+                    f"{c.controller:<12} {c.kind:<11} {'CRASH':<7} "
+                    f"{c.error[:48]}"
+                )
+        return "\n".join(lines)
+
+
+def _sim_cap_totals(allocation_log) -> np.ndarray:
+    totals = []
+    for entry in allocation_log:
+        alloc = entry[1] if isinstance(entry, tuple) else entry
+        totals.append(float(alloc.sim_caps_w.sum()))
+    return np.asarray(totals)
+
+
+def run_chaos_matrix(
+    controllers=DEFAULT_CONTROLLERS,
+    kinds=None,
+    seed: int = 0,
+    steps: int = 8,
+    ranks: int = 2,
+    budget_w: float = 110.0,
+    events_path: str | Path | None = None,
+    job_seed: int = 2020,
+) -> ChaosResult:
+    """Run the controllers × fault-kinds matrix; see the module docstring.
+
+    ``seed`` drives the fault plans (same seed ⇒ byte-identical fault
+    schedules); ``budget_w`` is the per-node cap. ``events_path``
+    collects every fired fault-marker row, tagged with its cell, as
+    JSONL — the artifact the CI chaos-smoke job uploads.
+    """
+    from repro.experiments.runner import build_controller
+    from repro.insitu import InsituConfig, run_insitu
+
+    kinds = tuple(FaultKind(k) for k in kinds) if kinds else tuple(FaultKind)
+    cfg = InsituConfig(
+        n_sim_ranks=ranks,
+        n_ana_ranks=ranks,
+        n_verlet_steps=steps,
+        power_cap_w=budget_w,
+        seed=job_seed,
+    )
+    shape = SimpleNamespace(
+        budget_w=cfg.world_size * budget_w, n_sim=ranks, n_ana=ranks
+    )
+    result = ChaosResult(seed=seed)
+    event_rows: list[dict] = []
+
+    for name in controllers:
+        # clean baseline under the null injector (bit-identical to an
+        # uninstrumented run) fixes the horizon the plans are sampled on
+        with use_faults(NULL_FAULTS):
+            baseline = run_insitu(cfg, build_controller(name, shape))
+        result.baselines[name] = baseline.virtual_time_s
+
+        for kind in kinds:
+            plan = FaultPlan.sample(
+                seed,
+                cfg.world_size,
+                horizon_s=max(baseline.virtual_time_s, 1e-3),
+                kinds=(kind,),
+            )
+            injector = FaultInjector(plan)
+            cell = ChaosCell(
+                controller=name,
+                kind=kind.value,
+                ok=True,
+                baseline_time_s=baseline.virtual_time_s,
+            )
+            try:
+                with use_faults(injector):
+                    faulted = run_insitu(cfg, build_controller(name, shape))
+            except Exception as exc:  # the gate reports, caller decides
+                cell.ok = False
+                cell.error = f"{type(exc).__name__}: {exc}"
+            else:
+                totals = _sim_cap_totals(faulted.allocation_log)
+                cell.virtual_time_s = faulted.virtual_time_s
+                cell.n_decisions = len(faulted.allocation_log)
+                cell.cap_std_w = (
+                    float(totals.std()) if len(totals) > 1 else 0.0
+                )
+                cell.budget_ok = all(
+                    (entry[1] if isinstance(entry, tuple) else entry).total_w
+                    <= shape.budget_w + 1e-6
+                    for entry in faulted.allocation_log
+                )
+                cell.n_fault_windows = sum(
+                    1 for r in injector.event_log if r["phase"] == "start"
+                )
+            for row in injector.event_log:
+                event_rows.append(
+                    {"controller": name, "cell_kind": kind.value, **row}
+                )
+            result.cells.append(cell)
+
+    if events_path is not None:
+        path = Path(events_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for row in event_rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return result

@@ -48,6 +48,7 @@ from repro.analysis import Analysis, make_analysis
 from repro.cluster.machine import MachineSpec, theta
 from repro.core.controller import PowerController
 from repro.des.engine import Engine
+from repro.faults.injector import get_faults
 from repro.md import (
     DomainDecomposition,
     VelocityVerlet,
@@ -159,6 +160,13 @@ class InsituResult:
     #: replica memo hits/misses (0/0 on the per-rank path)
     replica_hits: int = 0
     replica_misses: int = 0
+    #: injected fault-marker rows that fired during this run (empty
+    #: unless a FaultInjector with a non-empty plan was installed)
+    fault_events: list = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.fault_events is None:
+            self.fault_events = []
 
 
 def run_insitu(
@@ -423,6 +431,8 @@ def run_insitu(
             return sim_rank(rank, comm)
         return ana_rank(rank, comm)
 
+    faults = get_faults()
+    fault_mark = faults.log_mark() if faults.enabled else 0
     world.run(main)
     pm0 = managers[0]
     if shared:
@@ -443,4 +453,5 @@ def run_insitu(
         shared_replica=shared,
         replica_hits=hits,
         replica_misses=misses,
+        fault_events=faults.log_since(fault_mark) if faults.enabled else [],
     )

@@ -61,7 +61,9 @@ _EXACT = 1e-12
 
 @dataclass
 class AuditRecord:
-    """One journal row; ``kind`` is ``init``/``obs``/``decision``."""
+    """One journal row; ``kind`` is ``init``/``obs``/``decision``/
+    ``hold`` (controller declined a degraded observation) / ``fault``
+    (an injected fault window opened)."""
 
     kind: str
     step: int
@@ -206,6 +208,32 @@ class AuditJournal:
             )
         )
 
+    def record_hold(
+        self, controller: str, step: int, reason: str, detail: dict
+    ) -> None:
+        """Controller held its caps on a degraded observation."""
+        self._append(
+            AuditRecord(
+                kind="hold",
+                step=step,
+                controller=controller,
+                t=self.now(),
+                inputs={"reason": reason, **detail},
+            )
+        )
+
+    def record_fault(self, fault_kind: str, t: float, detail: dict) -> None:
+        """An injected fault window opened at virtual time ``t``."""
+        self._append(
+            AuditRecord(
+                kind="fault",
+                step=0,
+                controller="faults",
+                t=t,
+                inputs={"fault": fault_kind, **detail},
+            )
+        )
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
@@ -306,6 +334,10 @@ class ReplayResult:
     n_decisions: int = 0
     n_replayed: int = 0
     n_skipped: int = 0
+    #: degraded observations the controller declined to act on
+    n_holds: int = 0
+    #: injected fault windows recorded in the journal
+    n_faults: int = 0
     #: (step, field, recorded, recomputed) for every divergence
     mismatches: list = field(default_factory=list)
     #: the verified cap schedule: (step, after_sim_w, after_ana_w)
@@ -320,6 +352,15 @@ class ReplayResult:
             f"replayed {self.n_replayed}/{self.n_decisions} decisions"
             + (f" ({self.n_skipped} unsupported controller(s) skipped)"
                if self.n_skipped else ""),
+        ]
+        if self.n_faults:
+            lines.append(f"{self.n_faults} fault window(s) injected")
+        if self.n_holds:
+            lines.append(
+                f"{self.n_holds} hold(s): controller kept caps on"
+                " degraded observations"
+            )
+        lines += [
             "",
             f"  {'step':>6} {'sim W':>10} {'ana W':>10}",
         ]
@@ -429,6 +470,12 @@ def replay(records: list[AuditRecord]) -> ReplayResult:
     for rec in records:
         if rec.kind == "init":
             result.schedule.append((rec.step, rec.after_sim_w, rec.after_ana_w))
+            continue
+        if rec.kind == "hold":
+            result.n_holds += 1
+            continue
+        if rec.kind == "fault":
+            result.n_faults += 1
             continue
         if rec.kind != "decision":
             continue

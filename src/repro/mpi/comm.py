@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.des.engine import Engine, SimulationError
 from repro.des.process import Process, SimEvent
+from repro.faults.injector import get_faults
 from repro.mpi.costs import CommCostModel, ZeroCost
 
 __all__ = [
@@ -169,6 +170,8 @@ class Communicator:
         # Each rank may have at most one outstanding collective; track
         # arrivals for deadlock diagnostics.
         self._stats = {"p2p_messages": 0, "collectives": 0}
+        faults = get_faults()
+        self._faults = faults if faults.enabled and faults.active else None
 
     # ------------------------------------------------------------------
     @property
@@ -198,6 +201,8 @@ class Communicator:
         self._check_rank(dest)
         nbytes = payload_nbytes(payload)
         wire = self.cost.p2p_time(nbytes)
+        if self._faults is not None:
+            wire += self._faults.comm_delay(self.engine.now)
         arrival = self.engine.now + wire
         msg = _Message(source, tag, payload, arrival)
         self._stats["p2p_messages"] += 1
@@ -472,6 +477,8 @@ class Communicator:
             )
             base_op = op.split(".")[0]
             cost = self.cost.collective_time(base_op, self.size, nbytes)
+            if self._faults is not None:
+                cost += self._faults.comm_delay(self.engine.now)
             del self._rounds[op]
             result = round_.finalize(round_.contributions)
             self.engine.schedule(cost, lambda: round_.event.succeed(result))

@@ -30,13 +30,14 @@ power measurements").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation, PartitionMeasurement
 from repro.des.engine import Engine
+from repro.faults.injector import get_faults
 from repro.metrics.registry import get_metrics
 from repro.mpi.comm import Communicator
 from repro.polimer.noderuntime import NodeRuntime
@@ -59,6 +60,11 @@ class _RankReport:
     epoch_time_s: float
     energy_j: float
     power_w: float
+    #: sender's sync counter when the report was *measured*; rank 0
+    #: compares it to the current sync index to detect stale re-sends
+    seq: int = 0
+    #: False when the report was lost in transit (measurement dropout)
+    valid: bool = True
 
 
 class PowerManager:
@@ -75,6 +81,7 @@ class PowerManager:
         sensor_sigma_w: float = 1.5,
         epoch_jitter_sigma: float = EPOCH_JITTER_SIGMA,
         rng: RngStream | None = None,
+        stale_max_age: int = 2,
     ) -> None:
         """``controller`` must be provided on world rank 0 and only
         there (it is the decision-maker; everyone else follows the
@@ -94,6 +101,11 @@ class PowerManager:
         )
         self._sensor_sigma_w = sensor_sigma_w
         self._epoch_jitter_sigma = epoch_jitter_sigma
+        #: reports older than this many syncs are discarded as missing
+        self.stale_max_age = stale_max_age
+        #: last report this rank put on the wire (re-sent under a
+        #: stale-measurement fault: a stuck monitor daemon)
+        self._prev_report: _RankReport | None = None
         self._last_release = engine.now
         self._last_entry_t = engine.now
         self._last_entry_e = node_runtime.energy_counter_j()
@@ -102,6 +114,9 @@ class PowerManager:
         self._trace_tid = rank + 1
         self._syncs_seen = 0  # per-rank (rank 0's _sync_index is global)
         node_runtime.trace_tid = self._trace_tid
+        node_runtime.fault_rank = rank
+        faults = get_faults()
+        self._faults = faults if faults.enabled and faults.active else None
         tracer = get_tracer()
         self._tracer = tracer if tracer.enabled else None
         metrics = get_metrics()
@@ -181,7 +196,28 @@ class PowerManager:
             epoch_time_s=epoch_observed,
             energy_j=energy - self._last_entry_e,
             power_w=max(power, 1.0),
+            seq=self._syncs_seen,
         )
+        if self._faults is not None:
+            meas_fault = self._faults.measurement(now, self.rank)
+            if meas_fault is not None:
+                fault_kind, magnitude = meas_fault
+                if fault_kind == "meas_drop":
+                    # lost in transit: the local measurement is fine,
+                    # so future stale re-sends start from it
+                    self._prev_report = report
+                    report = replace(report, valid=False)
+                elif fault_kind == "meas_stale":
+                    # stuck monitor daemon: re-send the previous wire
+                    # report; its seq keeps aging until discarded
+                    if self._prev_report is not None:
+                        report = self._prev_report
+                elif fault_kind == "meas_garble":
+                    report = replace(
+                        report, power_w=max(report.power_w * magnitude, 1.0)
+                    )
+        if report.valid:
+            self._prev_report = report
         reports = yield self.world.allgather(self.rank, report)
 
         payload = None
@@ -214,21 +250,67 @@ class PowerManager:
 
     # ------------------------------------------------------------------
     def _build_observation(self, reports: list[_RankReport]) -> Observation:
-        def build(master: int) -> PartitionMeasurement:
+        """Aggregate per-rank reports into one :class:`Observation`.
+
+        Under fault injection some reports may be invalid (dropped) or
+        carry an old sequence number. Aggregation runs over the
+        *surviving* reports — valid and no older than
+        :attr:`stale_max_age` syncs — and the observation carries
+        missing/stale counts so the controller can decide whether the
+        remainder is sound enough to act on.
+        """
+
+        def build(master: int) -> tuple[PartitionMeasurement, int, int]:
             rs = sorted(
                 (r for r in reports if r.master == master),
                 key=lambda r: r.part_rank,
             )
-            work = max(r.work_time_s for r in rs)
-            interval = max(max(r.epoch_time_s for r in rs), 1e-12)
-            return PartitionMeasurement(
-                work_time_s=work,
-                energy_j=sum(r.energy_j for r in rs),
-                interval_s=interval,
-                node_epoch_times_s=np.array([r.epoch_time_s for r in rs]),
-                node_power_w=np.array([r.power_w for r in rs]),
+            live = [
+                r
+                for r in rs
+                if r.valid and (self._sync_index - r.seq) <= self.stale_max_age
+            ]
+            missing = len(rs) - len(live)
+            stale = sum(1 for r in live if r.seq < self._sync_index)
+            if not live:
+                # every rank of the partition went dark this sync: a
+                # degenerate, explicitly-empty measurement (controllers
+                # hold on it rather than divide by zero)
+                return (
+                    PartitionMeasurement(
+                        work_time_s=0.0,
+                        energy_j=0.0,
+                        interval_s=1e-9,
+                        node_epoch_times_s=np.zeros(0),
+                        node_power_w=np.zeros(0),
+                    ),
+                    missing,
+                    stale,
+                )
+            work = max(r.work_time_s for r in live)
+            interval = max(max(r.epoch_time_s for r in live), 1e-12)
+            return (
+                PartitionMeasurement(
+                    work_time_s=work,
+                    energy_j=sum(r.energy_j for r in live),
+                    interval_s=interval,
+                    node_epoch_times_s=np.array(
+                        [r.epoch_time_s for r in live]
+                    ),
+                    node_power_w=np.array([r.power_w for r in live]),
+                ),
+                missing,
+                stale,
             )
 
+        sim, sim_missing, sim_stale = build(0)
+        ana, ana_missing, ana_stale = build(1)
         return Observation(
-            step=self._sync_index, sim=build(0), ana=build(1)
+            step=self._sync_index,
+            sim=sim,
+            ana=ana,
+            sim_missing=sim_missing,
+            ana_missing=ana_missing,
+            sim_stale=sim_stale,
+            ana_stale=ana_stale,
         )

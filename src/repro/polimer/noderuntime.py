@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.cluster.node import NodeSpec
 from repro.des.engine import Engine
+from repro.faults.injector import get_faults
 from repro.metrics.registry import get_metrics
 from repro.power.execution import execute_phase
 from repro.power.model import PhaseKind
@@ -44,13 +45,24 @@ class _ComputeAwaitable:
     def __sim_await__(self, process):
         runtime = self.runtime
         kind = self.kind
+        now = runtime.engine.now
+        noise = self.noise
+        stall = 0.0
+        faults = runtime._faults
+        if faults is not None:
+            # straggler: multiplies effective work like OS noise does;
+            # outage: the phase cannot start until the node respawns —
+            # the stall gap is charged at the wait draw by the energy
+            # counter, like any other idle gap
+            noise = noise * faults.slowdown_factor(now, runtime.fault_rank)
+            stall = faults.outage_extra(now, runtime.fault_rank)
         outcome = execute_phase(
             kind,
             runtime.node,
             self.work_s,
             runtime.domain,
-            t_start=runtime.engine.now,
-            noise_factors=self.noise,
+            t_start=now + stall,
+            noise_factors=noise,
         )
         duration = outcome.slowest
         energy_j = float(outcome.energy_joules[0])
@@ -68,7 +80,7 @@ class _ComputeAwaitable:
                 duration,
                 cat="power",
                 tid=runtime.trace_tid,
-                ts=runtime.engine.now,
+                ts=now + stall,
                 energy_j=energy_j,
                 cap_w=cap_w,
                 limited=limited,
@@ -80,7 +92,7 @@ class _ComputeAwaitable:
             metrics.histogram(f"phase.{kind.name}.s").observe(duration)
             metrics.histogram(f"phase.{kind.name}.energy_j").observe(energy_j)
         runtime.engine.schedule(
-            duration, lambda: process._advance(duration)
+            stall + duration, lambda: process._advance(stall + duration)
         )
 
 
@@ -116,10 +128,15 @@ class NodeRuntime:
         self._counter_cache: tuple[float, float, float] | None = None
         #: trace lane for this node's phase spans (rank + 1; 0 = engine)
         self.trace_tid = 0
+        #: world rank this node hosts, for rank-targeted fault windows;
+        #: set by the PowerManager (None = matches all-rank faults only)
+        self.fault_rank: int | None = None
         tracer = get_tracer()
         self._tracer = tracer if tracer.enabled else None
         metrics = get_metrics()
         self._metrics = metrics if metrics.enabled else None
+        faults = get_faults()
+        self._faults = faults if faults.enabled and faults.active else None
 
     # ------------------------------------------------------------------
     def compute(self, kind: PhaseKind, work_s: float, noise: float = 1.0):
@@ -139,7 +156,9 @@ class NodeRuntime:
 
     def request_cap(self, cap_w: float) -> None:
         """Request a new cap, effective after the actuation delay."""
-        self.domain.request_caps(cap_w, now=self.engine.now)
+        self.domain.request_caps(
+            cap_w, now=self.engine.now, fault_rank=self.fault_rank
+        )
 
     def energy_counter_j(self) -> float:
         """Monotone cumulative energy, RAPL-counter style.

@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster.node import NodeSpec
+from repro.faults.injector import get_faults
 from repro.metrics.registry import get_metrics
 from repro.telemetry import get_tracer
 from repro.util.units import MS
@@ -103,28 +104,63 @@ class RaplDomainArray:
         self._tracer = tracer if tracer.enabled else None
         metrics = get_metrics()
         self._metrics = metrics if metrics.enabled else None
+        faults = get_faults()
+        self._faults = faults if faults.enabled else None
 
     # ------------------------------------------------------------------
     def _clamp(self, caps: np.ndarray) -> np.ndarray:
         return np.clip(caps, self.node.rapl_min_watts, self.node.tdp_watts)
 
-    def request_caps(self, caps_watts, now: float) -> np.ndarray:
+    def request_caps(
+        self, caps_watts, now: float, fault_rank: int | None = None
+    ) -> np.ndarray:
         """Request new per-node caps at time ``now``.
 
-        The request is clamped to the supported range and takes effect
-        at ``now + actuation_delay``. A second request before activation
-        supersedes the first (RAPL registers hold one value). Returns
-        the clamped caps that will be installed. In ``NONE`` mode the
-        request is ignored.
+        The request must be finite and strictly positive — NaN or
+        non-positive watts raise :class:`ValueError` rather than being
+        silently clamped into the supported range (a controller emitting
+        garbage is a bug, not a request). Valid caps are clamped and
+        take effect at ``now + actuation_delay``. A second request
+        before activation supersedes the first (RAPL registers hold one
+        value). Returns the clamped caps that will be installed. In
+        ``NONE`` mode the request is ignored.
+
+        ``fault_rank`` identifies the requesting node to the fault
+        injector for rank-targeted actuation faults; ``None`` matches
+        domain-wide faults only.
         """
+        requested = np.asarray(caps_watts, dtype=float)
+        if requested.size == 0:
+            raise ValueError("empty cap request")
+        if not np.all(np.isfinite(requested)):
+            raise ValueError(
+                f"cap request contains non-finite watts: {requested!r}"
+            )
+        if np.any(requested <= 0.0):
+            raise ValueError(
+                f"cap request contains non-positive watts: {requested!r}"
+            )
         if self.mode is CapMode.NONE:
             return self._caps.copy()
         caps = self._clamp(
-            np.broadcast_to(
-                np.asarray(caps_watts, dtype=float), (self.n_nodes,)
-            ).copy()
+            np.broadcast_to(requested, (self.n_nodes,)).copy()
         )
-        self._pending = (now + self.actuation_delay_s, caps)
+        delay_s = self.actuation_delay_s
+        fault = (
+            self._faults.actuation(now, fault_rank)
+            if self._faults is not None
+            else None
+        )
+        if fault is not None:
+            if fault.dropped:
+                # silently lost: registers keep their old value, but the
+                # requester still believes the request landed
+                return caps.copy()
+            delay_s += fault.extra_delay_s
+            if fault.offset_w:
+                # miscalibrated actuation: installed != requested
+                caps = self._clamp(caps + fault.offset_w)
+        self._pending = (now + delay_s, caps)
         self.requests += 1
         if self._tracer is not None:
             self._tracer.instant(
@@ -133,7 +169,7 @@ class RaplDomainArray:
                 ts=now,
                 mean_cap_w=float(caps.mean()),
                 n_nodes=self.n_nodes,
-                effective_at=now + self.actuation_delay_s,
+                effective_at=now + delay_s,
             )
             self._tracer.counter("power.caps_requested", cat="power").inc()
         if self._metrics is not None:
