@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Kill-and-resume soak: repeatedly SIGKILL a journaled campaign
+mid-sweep and prove ``campaign resume`` heals it.
+
+Each iteration runs a fresh journaled campaign of the target
+experiment, SIGKILLs the process as soon as the journal shows a
+completed cell, resumes the journal, and asserts
+
+* the resumed run exits 0 and the ledger reaches ``finished``;
+* no previously-completed cell was recomputed (every one is served
+  as a cache ``hit`` after the ``resume`` record);
+* the merged experiment artifact is byte-identical to an
+  uninterrupted reference run.
+
+A campaign that wins the race and finishes before the kill lands is
+counted as ``too-fast`` and does not consume an iteration's worth of
+assertions; the soak fails if every iteration was too fast, since then
+nothing was actually exercised.
+
+Exits non-zero on the first violated assertion. Journals are left in
+the work directory for upload as CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+CLI = [sys.executable, "-m", "repro.experiments.cli"]
+
+
+def run_cli(*args: str, timeout: float = 600.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [*CLI, *args], capture_output=True, text=True, timeout=timeout
+    )
+
+
+def journal_records(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn tail from the kill — expected
+    return records
+
+
+def wait_for_done_cell(
+    journal: Path, proc: subprocess.Popen, deadline_s: float
+) -> bool:
+    """True once a cell completed; False if the campaign finished first."""
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline_s:
+        if any(
+            r.get("event") == "cell" and r.get("status") == "done"
+            for r in journal_records(journal)
+        ):
+            return proc.poll() is None
+        if proc.poll() is not None:
+            return False
+        time.sleep(0.005)
+    raise SystemExit(f"soak: no cell completed within {deadline_s:.0f}s")
+
+
+def soak_once(
+    it: int, experiment: str, workdir: Path, ref_bytes: bytes, jobs: int
+) -> bool:
+    """One kill/resume cycle; True if the kill landed mid-campaign."""
+    journal = workdir / f"soak-{it}.jsonl"
+    out_dir = workdir / f"soak-{it}-out"
+    proc = subprocess.Popen(
+        [
+            *CLI,
+            "run",
+            experiment,
+            "--quick",
+            "--jobs",
+            str(jobs),
+            "--cache",
+            str(workdir / f"soak-{it}-cache"),
+            "--journal",
+            str(journal),
+            "--output",
+            str(out_dir),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        killed = wait_for_done_cell(journal, proc, deadline_s=120.0)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    if not killed:
+        print(f"[soak {it}] campaign finished before the kill (too fast)")
+        return False
+
+    completed_before = {
+        r["key"]
+        for r in journal_records(journal)
+        if r.get("event") == "cell"
+        and r.get("status") in ("done", "retried", "hit", "dup")
+    }
+    print(f"[soak {it}] killed with {len(completed_before)} cells complete")
+
+    resumed = run_cli("campaign", "resume", str(journal), "--jobs", str(jobs))
+    if resumed.returncode != 0:
+        raise SystemExit(
+            f"soak: resume failed (exit {resumed.returncode}):\n{resumed.stderr}"
+        )
+
+    records = journal_records(journal)
+    resume_at = max(
+        i for i, r in enumerate(records) if r.get("event") == "resume"
+    )
+    after = [r for r in records[resume_at:] if r.get("event") == "cell"]
+    recomputed = [
+        r["key"]
+        for r in after
+        if r["key"] in completed_before and r["status"] in ("done", "retried")
+    ]
+    if recomputed:
+        raise SystemExit(f"soak: resume recomputed finished cells {recomputed}")
+
+    artifact = out_dir / f"{experiment}.json"
+    if not artifact.exists():
+        raise SystemExit(f"soak: resumed campaign wrote no artifact {artifact}")
+    if artifact.read_bytes() != ref_bytes:
+        raise SystemExit("soak: resumed artifact differs from reference run")
+
+    status = run_cli("campaign", "status", str(journal))
+    if "finished" not in status.stdout:
+        raise SystemExit(f"soak: ledger not finished after resume:\n{status.stdout}")
+    print(f"[soak {it}] resume OK: zero recompute, bit-identical artifact")
+    return True
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--experiment", default="table2")
+    ap.add_argument("--iterations", type=int, default=5)
+    ap.add_argument("--jobs", type=int, default=2)
+    ap.add_argument("--workdir", type=Path, default=Path("artifacts/soak"))
+    args = ap.parse_args()
+
+    args.workdir.mkdir(parents=True, exist_ok=True)
+    os.environ.setdefault("PYTHONPATH", "src")
+
+    ref_out = args.workdir / "ref-out"
+    ref = run_cli(
+        "run",
+        args.experiment,
+        "--quick",
+        "--cache",
+        str(args.workdir / "ref-cache"),
+        "--output",
+        str(ref_out),
+    )
+    if ref.returncode != 0:
+        raise SystemExit(f"soak: reference run failed:\n{ref.stderr}")
+    ref_bytes = (ref_out / f"{args.experiment}.json").read_bytes()
+
+    exercised = sum(
+        soak_once(it, args.experiment, args.workdir, ref_bytes, args.jobs)
+        for it in range(args.iterations)
+    )
+    if exercised == 0:
+        raise SystemExit("soak: every campaign finished before the kill")
+    print(f"[soak] {exercised}/{args.iterations} kill/resume cycles verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

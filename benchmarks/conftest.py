@@ -81,9 +81,13 @@ def regenerate(benchmark, fn, **kwargs):
             with use_engine(engine):
                 return fn(**kwargs)
 
-    result = benchmark.pedantic(
-        _call, iterations=1, rounds=1, warmup_rounds=0
-    )
+    try:
+        result = benchmark.pedantic(
+            _call, iterations=1, rounds=1, warmup_rounds=0
+        )
+    finally:
+        if engine is not None:
+            engine.close()  # tear down the warm worker pool
     print()
     print(result.render())
     return result

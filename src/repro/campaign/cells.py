@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.workloads import JobConfig, JobResult
 
-__all__ = ["CellSpec", "cell_label", "run_cell"]
+__all__ = ["CellSpec", "cell_label", "cell_units", "run_cell"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,23 @@ def cell_label(spec: CellSpec) -> str:
     return (
         f"{spec.approach}/{'+'.join(cfg.analyses)}"
         f"/d{cfg.dim}/n{cfg.n_nodes}/s{cfg.seed}/r{spec.run_index}"
+    )
+
+
+def cell_units(spec: CellSpec) -> float:
+    """A-priori relative cost of a cell, in abstract units.
+
+    Only the *ranking* matters (longest-first placement); the
+    scheduler's cost model calibrates units to wall seconds from
+    observed cells. Cost scales with the simulated work: Verlet steps
+    dominate, with node count and analysis fan-out as secondary
+    factors.
+    """
+    cfg = spec.cfg
+    return (
+        float(cfg.n_verlet_steps)
+        * (1.0 + 0.25 * len(cfg.analyses))
+        * (1.0 + cfg.n_nodes / 256.0)
     )
 
 

@@ -4,15 +4,22 @@ Execution strategy for a batch of cells:
 
 1. every cell is looked up in the content-addressed store (when one is
    attached) and deduplicated against identical cells in the batch;
-2. remaining cells fan out across a ``ProcessPoolExecutor`` when the
-   engine was built with ``jobs > 1``; each pool wait is bounded by the
-   per-cell timeout, and a raised/hung/lost worker triggers bounded
-   retry, with the final attempt always executed in-process so a
-   poisoned pool cannot fail a deterministic cell;
-3. if the pool cannot be created at all (restricted environments,
+2. uncached cells are *leased* through the store's single-flight locks:
+   cells another concurrent campaign is already computing are observed
+   (never recomputed), the rest are owned by this engine;
+3. owned cells fan out through a cost-model-informed work-stealing
+   scheduler over a **warm, persistent worker pool** when the engine
+   was built with ``jobs > 1`` (see :mod:`repro.campaign.scheduler`):
+   longest cells first, adaptive chunking, bounded in-flight work, and
+   idle workers stealing from loaded ones. A raised/hung/lost worker
+   triggers bounded retry, with the final attempt always executed
+   in-process so a poisoned pool cannot fail a deterministic cell;
+4. if the pool cannot be created at all (restricted environments,
    missing semaphores) the whole batch gracefully degrades to the
    in-process serial path — identical results, just slower;
-4. every outcome is journaled and stored.
+5. every outcome is journaled and stored; with a file-backed journal
+   the engine also writes ``scheduled`` ledger rows, making a killed
+   campaign resumable (:mod:`repro.campaign.resume`).
 
 Cells are deterministic (seed-addressed RNG streams), so parallel and
 serial execution are bit-identical — asserted by the regression tests.
@@ -29,14 +36,18 @@ import contextlib
 import os
 import sys
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Callable, Sequence
 
 from repro.campaign.cells import CellSpec, cell_label, run_cell
 from repro.campaign.hashing import cell_key
 from repro.campaign.journal import RunJournal
-from repro.campaign.store import CellStore
+from repro.campaign.scheduler import (
+    CostModel,
+    SchedulerUnavailable,
+    WorkerPool,
+    WorkStealingScheduler,
+)
+from repro.campaign.store import CellLease, CellStore
 from repro.faults.injector import get_faults
 from repro.telemetry import get_tracer
 
@@ -45,11 +56,6 @@ __all__ = ["CampaignEngine", "CellFailure", "get_engine", "use_engine"]
 
 class CellFailure(RuntimeError):
     """A cell exhausted every attempt (pool and in-process)."""
-
-
-def _pool_call(run_fn: Callable, spec: CellSpec):
-    """Pool-side wrapper: tag the result with the worker's pid."""
-    return os.getpid(), run_fn(spec)
 
 
 class CampaignEngine:
@@ -65,9 +71,10 @@ class CampaignEngine:
         optional :class:`RunJournal`; one with ``path=None`` (counters
         only) is created when omitted.
     timeout_s:
-        per-cell bound on waiting for a pool worker (``None`` = wait
-        forever). In-process execution is not interruptible and is
-        therefore not bounded.
+        per-cell bound on worker progress: a worker that produces no
+        result for this long is killed and its cells retried
+        (``None`` = wait forever). In-process execution is not
+        interruptible and is therefore not bounded.
     retries:
         extra attempts after a failed/timed-out first attempt. The
         last attempt always runs in-process.
@@ -75,7 +82,13 @@ class CampaignEngine:
         the cell executor (default :func:`run_cell`); injectable for
         fault-injection tests. Must be picklable for pool use.
     progress:
-        emit a live one-line progress update to stderr.
+        emit a live one-line progress update (with ETA once the cost
+        model calibrates) to stderr.
+    longest_first / steal / static_chunks:
+        scheduling policy knobs (see
+        :class:`~repro.campaign.scheduler.WorkStealingScheduler`).
+        The defaults are the production policy; the FIFO/static
+        combination exists as the benchmark baseline.
     """
 
     def __init__(
@@ -87,6 +100,9 @@ class CampaignEngine:
         retries: int = 1,
         run_fn: Callable[[CellSpec], object] = run_cell,
         progress: bool = False,
+        longest_first: bool = True,
+        steal: bool = True,
+        static_chunks: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -99,8 +115,48 @@ class CampaignEngine:
         self.retries = retries
         self.run_fn = run_fn
         self.progress = progress
+        self.longest_first = longest_first
+        self.steal = steal
+        self.static_chunks = static_chunks
+        self.cost_model = CostModel()
+        self._pool: WorkerPool | None = None
+        self._scheduler: WorkStealingScheduler | None = None
+        self._pool_broken = False
+        self._leases: dict[str, CellLease] = {}
         self._done = 0
         self._total = 0
+
+    # ----------------------------------------------------------- pool
+    def _ensure_scheduler(self) -> WorkStealingScheduler:
+        """The warm pool + scheduler (created once, reused per batch)."""
+        if self._scheduler is None:
+            self._pool = WorkerPool(self.jobs, self.run_fn)
+            self._scheduler = WorkStealingScheduler(
+                self._pool,
+                cost_model=self.cost_model,
+                longest_first=self.longest_first,
+                steal=self.steal,
+                static_chunks=self.static_chunks,
+            )
+        return self._scheduler
+
+    @property
+    def scheduler_stats(self):
+        """Stats of the most recent scheduled batch (None before any)."""
+        return self._scheduler.stats if self._scheduler is not None else None
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+        self._pool = None
+        self._scheduler = None
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------- telemetry
     def _trace_cell(self, spec: CellSpec, status: str, wall_s: float) -> None:
@@ -180,12 +236,32 @@ class CampaignEngine:
             first[key] = i
             todo.append(i)
 
-        if todo:
-            if self.jobs > 1 and len(todo) > 1:
-                self._run_pool(specs, keys, todo, results)
-            else:
-                for i in todo:
-                    results[i] = self._run_serial(specs[i], keys[i])
+        # single-flight: lease what we will compute; cells leased by a
+        # concurrent campaign sharing the store are observed instead
+        waiting: list[int] = []
+        if self.store is not None and todo:
+            owned: list[int] = []
+            for i in todo:
+                lease = self.store.try_lease(keys[i])
+                if lease is None:
+                    waiting.append(i)
+                else:
+                    self._leases[keys[i]] = lease
+                    owned.append(i)
+            todo = owned
+
+        self.journal.scheduled([keys[i] for i in todo])
+        try:
+            if todo:
+                if self.jobs > 1 and len(todo) > 1:
+                    self._run_pool(specs, keys, todo, results)
+                else:
+                    for i in todo:
+                        results[i] = self._run_serial(specs[i], keys[i])
+            for i in waiting:
+                results[i] = self._await_inflight(specs[i], keys[i])
+        finally:
+            self._release_leases()
 
         for i, j in dups.items():
             results[i] = results[j]
@@ -196,9 +272,37 @@ class CampaignEngine:
         return results
 
     # ------------------------------------------------------- internals
+    def _release_lease(self, key: str) -> None:
+        lease = self._leases.pop(key, None)
+        if lease is not None:
+            lease.release()
+
+    def _release_leases(self) -> None:
+        for key in list(self._leases):
+            self._release_lease(key)
+
+    def _await_inflight(self, spec: CellSpec, key: str):
+        """Resolve a cell another campaign is computing right now."""
+        t0 = time.perf_counter()
+        result = self.store.wait_for(key)
+        wall_s = time.perf_counter() - t0
+        if result is not None:
+            self.journal.cell(
+                key, cell_label(spec), "hit", wall_s, via="single-flight"
+            )
+            self._trace_cell(spec, "hit", wall_s)
+            self._tick()
+            return result
+        # the other campaign died before committing: claim and compute
+        lease = self.store.try_lease(key)
+        if lease is not None:
+            self._leases[key] = lease
+        return self._run_serial(spec, key)
+
     def _complete(self, spec, key, result, wall_s, status, backend, worker):
         if self.store is not None:
             self.store.put(key, result)
+        self._release_lease(key)
         self.journal.cell(
             key,
             cell_label(spec),
@@ -211,66 +315,61 @@ class CampaignEngine:
         self._tick()
 
     def _run_pool(self, specs, keys, todo, results) -> None:
-        try:
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(todo))
-            )
-        except Exception as exc:  # restricted env: no fork/semaphores
-            self.journal.event("pool-unavailable", error=repr(exc))
+        """Scheduled fan-out over the warm pool; see the module doc."""
+        if self._pool_broken:
             for i in todo:
                 results[i] = self._run_serial(specs[i], keys[i])
             return
-
-        futures = {i: pool.submit(_pool_call, self.run_fn, specs[i]) for i in todo}
-        broken = False
+        scheduler = self._ensure_scheduler()
+        retry: list[int] = []  # indices to re-run in-process
         try:
-            for i in todo:
+            outcomes = scheduler.run(
+                [specs[i] for i in todo], timeout_s=self.timeout_s
+            )
+            for outcome in outcomes:
+                i = todo[outcome.task_id]
                 spec, key = specs[i], keys[i]
-                if broken:
-                    results[i] = self._run_serial(spec, key, attempt=2)
-                    continue
-                t0 = time.perf_counter()
-                try:
-                    worker, result = futures[i].result(timeout=self.timeout_s)
-                except FutureTimeout:
-                    futures[i].cancel()
-                    self.journal.cell(
-                        key,
-                        cell_label(spec),
-                        "timeout",
-                        time.perf_counter() - t0,
-                        backend="pool",
-                    )
-                    results[i] = self._run_serial(spec, key, attempt=2)
-                except BrokenExecutor as exc:
-                    broken = True
-                    self.journal.event("pool-broken", error=repr(exc))
-                    results[i] = self._run_serial(spec, key, attempt=2)
-                except Exception as exc:
-                    self.journal.cell(
-                        key,
-                        cell_label(spec),
-                        "error",
-                        time.perf_counter() - t0,
-                        backend="pool",
-                        error=repr(exc),
-                    )
-                    results[i] = self._run_serial(spec, key, attempt=2)
-                else:
+                if outcome.status == "ok":
                     self._complete(
                         spec,
                         key,
-                        result,
-                        time.perf_counter() - t0,
+                        outcome.result,
+                        outcome.wall_s,
                         "done",
                         "pool",
-                        worker,
+                        outcome.worker,
                     )
-                    results[i] = result
-        finally:
-            # wait=False: a hung worker must not stall completed cells
-            with contextlib.suppress(TypeError):
-                pool.shutdown(wait=False, cancel_futures=True)
+                    results[i] = outcome.result
+                    continue
+                status = {"error": "error", "timeout": "timeout"}.get(
+                    outcome.status, "error"
+                )
+                extra = {"error": outcome.error} if outcome.error else {}
+                if outcome.status == "lost":
+                    self.journal.event(
+                        "worker-lost", worker=outcome.worker, key=key
+                    )
+                self.journal.cell(
+                    key,
+                    cell_label(spec),
+                    status,
+                    outcome.wall_s,
+                    backend="pool",
+                    worker=outcome.worker,
+                    **extra,
+                )
+                retry.append(i)
+        except SchedulerUnavailable as exc:
+            # restricted env: no fork/pipes/semaphores — never try again
+            self._pool_broken = True
+            self.journal.event("pool-unavailable", error=repr(exc))
+            self.close()
+            for i in todo:
+                if results[i] is None:
+                    results[i] = self._run_serial(specs[i], keys[i])
+            return
+        for i in retry:
+            results[i] = self._run_serial(specs[i], keys[i], attempt=2)
 
     def _run_serial(self, spec: CellSpec, key: str, attempt: int = 1):
         """In-process execution with bounded retry.
@@ -305,6 +404,7 @@ class CampaignEngine:
                 os.getpid(),
             )
             return result
+        self._release_lease(key)
         self.journal.cell(key, label, "failed", 0.0, attempt=self.retries + 1)
         raise CellFailure(
             f"cell {label} failed after {self.retries + 1} attempt(s)"
@@ -316,10 +416,15 @@ class CampaignEngine:
         if not self.progress:
             return
         c = self.journal.counts
+        eta = ""
+        if self._scheduler is not None:
+            eta_s = self._scheduler.eta_s()
+            if eta_s:
+                eta = f" · eta {eta_s:.0f}s"
         sys.stderr.write(
             f"\r[campaign] {self._done}/{self._total} cells"
             f" · {c['hits']} cached · {c['misses']} run"
-            f" · {c['errors'] + c['timeouts']} faults"
+            f" · {c['errors'] + c['timeouts']} faults{eta}"
         )
         sys.stderr.flush()
 

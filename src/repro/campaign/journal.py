@@ -1,4 +1,4 @@
-"""Structured JSONL run journal.
+"""Structured JSONL run journal — a replayable campaign ledger.
 
 One line per cell event (``{"event": "cell", ...}``) with the cache
 key, status, wall time, attempt number, backend and worker id, plus
@@ -8,32 +8,78 @@ summary. The journal doubles as the campaign's counters — hits,
 misses, errors, timeouts, retries — which the CLI and the tests read
 back without parsing the file.
 
+Ledger records (see :mod:`repro.campaign.resume`) make a journal
+replayable: a ``campaign`` header pins the campaign id and the exact
+CLI inputs (experiments, overrides, cache directory), ``scheduled``
+rows record every cell fingerprint the engine enqueued, and the
+per-cell rows record which fingerprints completed. ``campaign resume``
+reconstructs the set of finished/in-flight cells from those rows
+alone.
+
 Crash tolerance: every record is flushed and fsynced (falling back to
 a plain flush where fsync is unsupported), and opening an existing
 journal for append first repairs a truncated final line — a crashed
 writer's partial record is dropped so the resumed journal stays
 line-parseable end to end.
+
+Concurrent writers: every append (and the open-time tail repair) runs
+under an exclusive ``flock`` on the journal file itself, so two
+campaigns sharing one journal can interleave *records* but never
+*bytes* — each line lands whole. Without ``fcntl`` (non-POSIX) the
+lock degrades to best-effort unlocked appends.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
 from pathlib import Path
+from typing import TextIO
+
+try:  # POSIX advisory locking; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["RunJournal"]
 
 
+@contextlib.contextmanager
+def _flocked(fh):
+    """Exclusive advisory lock on ``fh`` for the scope (best-effort)."""
+    locked = False
+    if fcntl is not None:
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            locked = True
+        except (OSError, ValueError):
+            pass  # unlockable file object: fall through unlocked
+    try:
+        yield
+    finally:
+        if locked:
+            with contextlib.suppress(OSError, ValueError):
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
 def _repair_truncated_tail(path: Path) -> None:
-    """Drop a partial (newline-less) final line left by a crash."""
+    """Drop a partial (newline-less) final line left by a crash.
+
+    Runs under the same advisory lock as appends, so a live writer's
+    in-progress record can never be mistaken for a crashed tail.
+    """
     try:
         size = path.stat().st_size
     except OSError:
         return
     if size == 0:
         return
-    with path.open("rb+") as fh:
+    with path.open("rb+") as fh, _flocked(fh):
+        size = os.fstat(fh.fileno()).st_size  # re-read under the lock
+        if size == 0:
+            return
         # scan backwards in chunks for the last newline
         chunk = 4096
         pos = size
@@ -53,6 +99,10 @@ def _repair_truncated_tail(path: Path) -> None:
 #: cell statuses that count as an executed (non-cached) cell
 _EXECUTED = frozenset({"done", "retried"})
 
+#: cell statuses that mean the cell's result is available (computed,
+#: cached, deduplicated, or observed from a concurrent campaign)
+COMPLETED_STATUSES = frozenset({"done", "retried", "hit", "dup"})
+
 
 class RunJournal:
     """Counter-accumulating JSONL writer (file optional).
@@ -63,7 +113,7 @@ class RunJournal:
 
     def __init__(self, path: Path | str | None = None) -> None:
         self.path = Path(path) if path is not None else None
-        self._fh = None
+        self._fh: TextIO | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             if self.path.exists():
@@ -74,6 +124,7 @@ class RunJournal:
             "hits": 0,
             "misses": 0,
             "dups": 0,
+            "shared": 0,
             "errors": 0,
             "timeouts": 0,
             "retries": 0,
@@ -83,12 +134,14 @@ class RunJournal:
     # ------------------------------------------------------------------
     def _write(self, record: dict) -> None:
         if self._fh is not None:
-            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-            self._fh.flush()
-            try:
-                os.fsync(self._fh.fileno())
-            except (OSError, ValueError):
-                pass  # fsync-or-flush: some filesystems refuse fsync
+            line = json.dumps(record, sort_keys=True) + "\n"
+            with _flocked(self._fh):
+                self._fh.write(line)
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except (OSError, ValueError):
+                    pass  # fsync-or-flush: some filesystems refuse fsync
 
     def event(self, kind: str, **fields) -> None:
         """Engine-level event (pool fallback, batch start, ...)."""
@@ -97,6 +150,30 @@ class RunJournal:
     def telemetry(self, record: dict) -> None:
         """One tracer record (see :class:`repro.telemetry.JournalSink`)."""
         self._write({"event": "telemetry", **record})
+
+    # ------------------------------------------------------ ledger rows
+    def campaign(self, campaign_id: str, **meta) -> None:
+        """The campaign header: id + everything resume needs to rerun."""
+        self._write(
+            {"event": "campaign", "ts": time.time(), "id": campaign_id, **meta}
+        )
+
+    def scheduled(self, keys: list[str]) -> None:
+        """Fingerprints of cells the engine is about to execute.
+
+        A key that appears here without a later completed ``cell`` row
+        was in flight when the campaign died — resume re-enqueues it.
+        """
+        if keys:
+            self._write(
+                {"event": "scheduled", "ts": time.time(), "keys": list(keys)}
+            )
+
+    def resume(self, campaign_id: str, **meta) -> None:
+        """Mark a resumed leg of the campaign."""
+        self._write(
+            {"event": "resume", "ts": time.time(), "id": campaign_id, **meta}
+        )
 
     def cell(
         self,
@@ -114,11 +191,15 @@ class RunJournal:
         ``status``: ``hit`` (cache), ``dup`` (deduplicated within the
         batch), ``done`` (executed first try), ``retried`` (executed
         after failures), ``error``/``timeout`` (one failed attempt),
-        ``failed`` (all attempts exhausted).
+        ``failed`` (all attempts exhausted). A ``hit`` with
+        ``via="single-flight"`` was computed by a concurrent campaign
+        sharing the store and observed rather than recomputed.
         """
         if status == "hit":
             self.counts["cells"] += 1
             self.counts["hits"] += 1
+            if extra.get("via") == "single-flight":
+                self.counts["shared"] += 1
         elif status == "dup":
             self.counts["cells"] += 1
             self.counts["dups"] += 1

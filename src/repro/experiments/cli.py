@@ -18,6 +18,8 @@ Usage::
     seesaw-experiments run fig2 --chaos-seed 7
     seesaw-experiments run fig2 --faults "slowdown@1.0+2.5x1.8:rank3"
     seesaw-experiments chaos --seed 7 --events chaos-events.jsonl
+    seesaw-experiments campaign status run.jsonl
+    seesaw-experiments campaign resume run.jsonl
 
 ``--quick`` trades statistical fidelity for speed (fewer Verlet steps,
 single run instead of median-of-3) — useful for smoke-testing.
@@ -32,7 +34,17 @@ content-addressed under ``--cache DIR`` (default
 ``~/.cache/seesaw-repro/cells``; disable with ``--no-cache``) so
 re-running an experiment whose inputs and code are unchanged is
 near-instant; ``--journal PATH`` appends a JSONL record per cell plus
-a final summary.
+a final summary. With ``--jobs > 1`` the cells are scheduled
+longest-first over a warm work-stealing worker pool (see
+:mod:`repro.campaign.scheduler`).
+
+Resume (see :mod:`repro.campaign.resume`): a journal written by
+``run --journal`` is a replayable ledger. If the campaign is killed —
+even with SIGKILL — ``campaign resume <journal>`` re-enters it:
+completed cells are served from the recorded cache (never recomputed),
+in-flight and pending cells execute normally, and the merged results
+are bit-identical to an uninterrupted run. ``campaign status`` prints
+the ledger without running anything.
 
 Tracing (see :mod:`repro.telemetry`): ``run ... --trace PATH`` records
 spans/counters from every layer of the in-process runs into a Chrome
@@ -71,6 +83,7 @@ import dataclasses
 import enum
 import inspect
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -82,7 +95,10 @@ from repro.campaign import (
     CampaignEngine,
     CellStore,
     RunJournal,
+    campaign_id,
+    campaign_meta,
     default_cache_dir,
+    load_ledger,
     use_engine,
 )
 from repro.experiments import EXPERIMENTS
@@ -176,6 +192,90 @@ def _build_engine(args) -> tuple[CampaignEngine, RunJournal]:
         progress=sys.stderr.isatty(),
     )
     return engine, journal
+
+
+def _cmd_campaign(args) -> int:
+    """Inspect (``status``) or re-enter (``resume``) a campaign journal."""
+    if not args.journal.exists():
+        print(f"no journal at {args.journal}", file=sys.stderr)
+        return 2
+    ledger = load_ledger(args.journal)
+    if args.campaign_cmd == "status":
+        print(ledger.describe())
+        return 0
+
+    # resume
+    meta = ledger.campaign
+    if meta is None:
+        print(
+            "journal has no campaign header; only journals written by "
+            "'run --journal PATH' are resumable",
+            file=sys.stderr,
+        )
+        return 2
+    if meta.get("faulted"):
+        print(
+            "campaign ran with fault injection (cache bypassed); "
+            "faulted campaigns are not resumable",
+            file=sys.stderr,
+        )
+        return 2
+    cache = meta.get("cache")
+    if not cache:
+        print(
+            "campaign ran with --no-cache, so completed cells left no "
+            "reusable results; re-run it from scratch instead",
+            file=sys.stderr,
+        )
+        return 2
+    names = [n for n in meta.get("experiments", [])]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if not names or unknown:
+        print(
+            f"journal names unknown experiment(s): {', '.join(unknown) or '(none)'}",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = dict(meta.get("overrides", {}))
+    jobs = args.jobs if args.jobs is not None else int(meta.get("jobs", 1))
+    previously = len(ledger.completed)
+    in_flight = len(ledger.in_flight)
+    cid = meta.get("id", "?")
+    print(
+        f"[resuming campaign {cid}: {previously} cells complete, "
+        f"{in_flight} were in flight]",
+        file=sys.stderr,
+    )
+
+    journal = RunJournal(args.journal)
+    journal.resume(cid, previously_completed=previously, in_flight=in_flight)
+    engine = CampaignEngine(
+        jobs=jobs,
+        store=CellStore(Path(cache)),
+        journal=journal,
+        progress=sys.stderr.isatty(),
+    )
+    scopes = contextlib.ExitStack()
+    if meta.get("no_shared_replica"):
+        from repro.insitu import use_shared_replica
+
+        scopes.enter_context(use_shared_replica(False))
+    output = Path(meta["output"]) if meta.get("output") else None
+    try:
+        with scopes, use_engine(engine):
+            for name in names:
+                print(_run_one(name, overrides, output))
+                print()
+        journal.summary(jobs=jobs, experiments=names, resumed=True)
+    finally:
+        engine.close()
+        journal.close()
+    c = engine.journal.counts
+    print(
+        f"[campaign {cid} resumed: {c['hits']} cells served from the "
+        f"cache, {c['misses']} executed this leg]"
+    )
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -363,6 +463,19 @@ def _cmd_bench(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # The reader side of stdout went away (`... | head`, a closed
+        # pager). Point stdout at devnull so interpreter shutdown does
+        # not warn about the unflushable buffer, and exit with the
+        # conventional 128+SIGPIPE code instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="seesaw-experiments",
         description="Regenerate the SeeSAw paper's tables and figures.",
@@ -625,6 +738,35 @@ def main(argv: list[str] | None = None) -> int:
         "kinds (default: 0.25)",
     )
 
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="inspect or resume a recorded campaign journal",
+        description="Work with campaign journals written by "
+        "'run --journal PATH': 'status' prints the replayable ledger "
+        "(completed / in-flight cells, resumability); 'resume' "
+        "re-enters a killed campaign — completed cells are served from "
+        "the recorded cell cache (never recomputed), in-flight and "
+        "pending cells execute normally, and the merged results are "
+        "bit-identical to an uninterrupted run.",
+    )
+    campaign_sub = campaign_p.add_subparsers(dest="campaign_cmd", required=True)
+    status_p = campaign_sub.add_parser(
+        "status", help="print the campaign ledger of one journal"
+    )
+    status_p.add_argument("journal", type=Path, help="campaign journal path")
+    resume_p = campaign_sub.add_parser(
+        "resume",
+        help="resume a killed campaign; completed cells are never recomputed",
+    )
+    resume_p.add_argument("journal", type=Path, help="campaign journal path")
+    resume_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the recorded worker count for the resumed leg",
+    )
+
     bench_p = sub.add_parser(
         "bench",
         help="capture or check benchmark-regression baselines",
@@ -697,6 +839,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _cmd_bench(args)
+
+    if args.command == "campaign":
+        if args.campaign_cmd == "resume" and args.jobs is not None and args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        return _cmd_campaign(args)
 
     if args.runs is not None and args.runs < 1:
         parser.error("--runs must be >= 1")
@@ -781,6 +928,18 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     engine, journal = _build_engine(args)
+    if args.journal is not None:
+        # the campaign header makes the journal a resumable ledger
+        meta = campaign_meta(
+            experiments=names,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache=str(engine.store.root) if engine.store is not None else None,
+            output=str(args.output) if args.output is not None else None,
+            no_shared_replica=args.no_shared_replica,
+            faulted=args.faults is not None or args.chaos_seed is not None,
+        )
+        journal.campaign(campaign_id(meta), **meta)
     try:
         with scopes:
             with use_engine(engine):
@@ -791,6 +950,7 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if audit_journal is not None:
             audit_journal.close()
+        engine.close()
         journal.close()
     if trace_sink is not None:
         path = trace_sink.write(args.trace)

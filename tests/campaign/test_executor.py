@@ -168,19 +168,129 @@ def test_unrecoverable_cell_raises_cell_failure():
     assert journal.counts["failed"] == 1
 
 
-def test_pool_unavailable_falls_back_to_serial(tmp_path, monkeypatch):
-    def broken_pool(*a, **kw):
-        raise OSError("no semaphores in this sandbox")
+def test_unrecoverable_cell_raises_through_the_pool_path():
+    """jobs > 1: pool error + exhausted in-process retries -> failure."""
+    journal = RunJournal()
+    engine = CampaignEngine(
+        jobs=2, journal=journal, run_fn=always_raise, retries=1
+    )
+    try:
+        with pytest.raises(CellFailure):
+            engine.run_cells([_spec(seed=1), _spec(seed=2)])
+    finally:
+        engine.close()
+    assert journal.counts["failed"] >= 1
+    assert journal.counts["errors"] >= 2  # pool attempt + serial attempt
 
-    monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", broken_pool)
+
+def test_timeout_rows_are_journaled_with_pool_backend(tmp_path):
+    """A hung worker's cells land as 'timeout' rows tagged backend=pool,
+    then recover via the in-process retry ('retried' rows)."""
+    path = tmp_path / "run.jsonl"
+    specs = [_spec(seed=1), _spec(seed=2)]
+    expected = CampaignEngine().run_cells(specs)
+    with RunJournal(path) as journal:
+        engine = CampaignEngine(
+            jobs=2, journal=journal, run_fn=hang_in_child, timeout_s=0.5
+        )
+        results = engine.run_cells(specs)
+        engine.close()
+    assert results == expected
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    timeouts = [l for l in lines if l.get("status") == "timeout"]
+    assert timeouts and all(l["backend"] == "pool" for l in timeouts)
+    assert any(l.get("status") == "retried" for l in lines)
+
+
+def test_worker_dying_mid_cell_journals_lost_event(tmp_path):
+    """A worker SIGKILLed mid-cell: the engine journals the loss, the
+    slot respawns, and the cell recovers in-process."""
+    path = tmp_path / "run.jsonl"
+    specs = [_spec(seed=1), _spec(seed=2), _spec(seed=3)]
+    expected = CampaignEngine().run_cells(specs)
+    with RunJournal(path) as journal:
+        engine = CampaignEngine(jobs=2, journal=journal, run_fn=die_in_child)
+        results = engine.run_cells(specs)
+        engine.close()
+    assert results == expected
+    assert journal.counts["cells"] == 3
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert any(l["event"] == "worker-lost" for l in lines)
+    assert sum(1 for l in lines if l.get("status") == "retried") == 3
+
+
+def test_single_todo_cell_with_parallel_engine_runs_serially():
+    """One uncached cell never pays pool dispatch: no pool is built."""
+    engine = CampaignEngine(jobs=4)
+    results = engine.run_cells([_spec(seed=9)])
+    assert engine._pool is None
+    assert results[0].config.seed == 9
+    engine.close()
+
+
+def test_scheduler_stats_exposed_after_pool_batch():
+    engine = CampaignEngine(jobs=2)
+    assert engine.scheduler_stats is None
+    try:
+        engine.run_cells([_spec(seed=s) for s in range(1, 7)])
+        stats = engine.scheduler_stats
+        assert stats is not None
+        assert stats.n_workers == 2
+        assert sum(w.cells for w in stats.workers) == 6
+        assert stats.dispatches >= 2
+        assert stats.wall_s > 0
+        assert 0.0 <= stats.utilization() <= 1.0
+    finally:
+        engine.close()
+
+
+def test_pool_unavailable_falls_back_to_serial(tmp_path, monkeypatch):
+    from repro.campaign.scheduler import SchedulerUnavailable, WorkerPool
+
+    def broken_start(self):
+        raise SchedulerUnavailable("no semaphores in this sandbox")
+
+    monkeypatch.setattr(WorkerPool, "ensure_started", broken_start)
     path = tmp_path / "run.jsonl"
     with RunJournal(path) as journal:
         engine = CampaignEngine(jobs=4, journal=journal)
         results = engine.run_cells([_spec(seed=1), _spec(seed=2)])
+        # the broken pool is remembered: later batches skip it entirely
+        more = engine.run_cells([_spec(seed=3), _spec(seed=4)])
+        engine.close()
     assert [r.config.seed for r in results] == [1, 2]
+    assert [r.config.seed for r in more] == [3, 4]
     lines = [json.loads(l) for l in path.read_text().splitlines()]
     assert any(l["event"] == "pool-unavailable" for l in lines)
-    assert journal.counts["misses"] == 2
+    assert journal.counts["misses"] == 4
+
+
+def test_warm_pool_is_reused_across_batches():
+    """The worker pool persists between run_cells calls (warm pool)."""
+    engine = CampaignEngine(jobs=2)
+    try:
+        first = engine.run_cells([_spec(seed=1), _spec(seed=2)])
+        pool = engine._pool
+        assert pool is not None
+        pids = [w.proc.pid for w in pool.workers]
+        second = engine.run_cells([_spec(seed=3), _spec(seed=4)])
+        assert engine._pool is pool
+        assert [w.proc.pid for w in pool.workers] == pids  # no respawn
+    finally:
+        engine.close()
+    assert [r.config.seed for r in first + second] == [1, 2, 3, 4]
+    assert engine._pool is None  # close() tears the pool down
+
+
+def test_close_is_idempotent_and_engine_still_runs_serially():
+    engine = CampaignEngine(jobs=2)
+    engine.run_cells([_spec(seed=1), _spec(seed=2)])
+    engine.close()
+    engine.close()
+    # a fresh pool is built lazily if the engine is used again
+    results = engine.run_cells([_spec(seed=5), _spec(seed=6)])
+    assert [r.config.seed for r in results] == [5, 6]
+    engine.close()
 
 
 # ----------------------------------------------------------- validation

@@ -1,6 +1,8 @@
-"""Run journal: JSONL structure and counter bookkeeping."""
+"""Run journal: JSONL structure, counters, ledger rows, and
+concurrent-writer integrity."""
 
 import json
+import multiprocessing
 
 from repro.campaign import RunJournal
 
@@ -109,3 +111,91 @@ def test_every_record_is_durable_before_close(tmp_path):
     # flushed (and fsynced) per record: visible before close()
     assert json.loads(path.read_text().splitlines()[0])["key"] == "a"
     j.close()
+
+
+# --------------------------------------------------------- ledger rows
+def test_ledger_rows_roundtrip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.campaign("cafe0123", experiments=["t1"], jobs=2, cache="/c")
+        j.scheduled(["k1", "k2"])
+        j.scheduled([])  # no-op: empty batches write nothing
+        j.cell("k1", "l1", "done", 0.1)
+        j.resume("cafe0123", previously_completed=1, in_flight=1)
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [l["event"] for l in lines] == [
+        "campaign",
+        "scheduled",
+        "cell",
+        "resume",
+    ]
+    assert lines[0]["id"] == "cafe0123" and lines[0]["jobs"] == 2
+    assert lines[1]["keys"] == ["k1", "k2"]
+    assert lines[3]["in_flight"] == 1
+
+
+def test_single_flight_hit_counts_as_shared():
+    j = RunJournal()
+    j.cell("k", "l", "hit", 0.0, via="single-flight")
+    j.cell("k2", "l2", "hit", 0.0)
+    assert j.counts["hits"] == 2
+    assert j.counts["shared"] == 1
+
+
+# ----------------------------------------------------- concurrent writers
+def _hammer(path, writer_id, n_records):
+    """Append ``n_records`` large rows (> the 4 KiB PIPE_BUF atomicity
+    guarantee, so unlocked appends would actually tear)."""
+    with RunJournal(path) as j:
+        for i in range(n_records):
+            j.cell(
+                f"w{writer_id}-{i}",
+                f"label-{writer_id}",
+                "done",
+                0.0,
+                pad="x" * 6000,
+            )
+
+
+def test_concurrent_writers_never_tear_records(tmp_path):
+    """Regression: two campaigns appending to one journal interleave
+    whole records, never bytes (flock-serialized appends)."""
+    path = tmp_path / "run.jsonl"
+    n = 40
+    procs = [
+        multiprocessing.Process(target=_hammer, args=(path, wid, n))
+        for wid in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2 * n
+    records = [json.loads(l) for l in lines]  # every line parses whole
+    keys = {r["key"] for r in records}
+    assert keys == {f"w{w}-{i}" for w in range(2) for i in range(n)}
+
+
+def test_concurrent_open_repairs_tail_without_eating_live_records(tmp_path):
+    """A crashed writer's partial tail is repaired exactly once even
+    when two journals open the file for append concurrently."""
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.cell("old", "old", "done", 0.1)
+    with path.open("a") as fh:
+        fh.write('{"event": "cell", "key": "torn')  # crash mid-record
+    procs = [
+        multiprocessing.Process(target=_hammer, args=(path, wid, 10))
+        for wid in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    keys = [r["key"] for r in records]
+    assert "old" in keys and len(keys) == 21  # 1 old + 2 x 10, torn dropped
+    assert not any(k == "torn" for k in keys)

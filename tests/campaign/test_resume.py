@@ -1,0 +1,321 @@
+"""Campaign checkpoint/resume: ledger parsing, CLI validation, and the
+kill-and-resume acceptance test.
+
+The acceptance test drives the real CLI in subprocesses: start a
+journaled campaign, SIGKILL it mid-sweep, ``campaign resume`` the
+journal, and require (a) zero recomputed finished cells and (b) merged
+results bit-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.campaign import (
+    RunJournal,
+    campaign_id,
+    campaign_meta,
+    load_ledger,
+)
+from repro.experiments import cli
+
+SRC = str(Path(repro.__file__).parents[1])
+ENV = {**os.environ, "PYTHONPATH": SRC}
+
+
+# --------------------------------------------------------------- identity
+def test_campaign_id_is_stable_and_input_sensitive():
+    meta = campaign_meta(["fig4"], {"n_runs": 1}, jobs=2, cache="/c")
+    assert campaign_id(meta) == campaign_id(
+        campaign_meta(["fig4"], {"n_runs": 1}, jobs=2, cache="/c")
+    )
+    assert campaign_id(meta) != campaign_id(
+        campaign_meta(["fig4"], {"n_runs": 2}, jobs=2, cache="/c")
+    )
+    assert len(campaign_id(meta)) == 16
+
+
+# ----------------------------------------------------------------- ledger
+def _write_journal(path, *, header=True, faulted=False, cache="/c"):
+    with RunJournal(path) as j:
+        if header:
+            meta = campaign_meta(
+                ["fig4"], {}, jobs=2, cache=cache, faulted=faulted
+            )
+            j.campaign(campaign_id(meta), **meta)
+        j.scheduled(["k1", "k2", "k3"])
+        j.cell("k1", "l1", "done", 0.1)
+        j.cell("k2", "l2", "error", 0.1)
+    return path
+
+
+def test_load_ledger_reconstructs_progress(tmp_path):
+    path = _write_journal(tmp_path / "run.jsonl")
+    ledger = load_ledger(path)
+    assert ledger.campaign is not None
+    assert ledger.scheduled == {"k1", "k2", "k3"}
+    assert ledger.completed == {"k1"}
+    assert ledger.in_flight == {"k2", "k3"}  # error row is not completion
+    assert not ledger.finished
+    assert "interrupted (resumable)" in ledger.describe()
+
+
+def test_load_ledger_finished_campaign(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        meta = campaign_meta(["fig4"], {}, jobs=1, cache="/c")
+        j.campaign(campaign_id(meta), **meta)
+        j.scheduled(["k1"])
+        j.cell("k1", "l1", "done", 0.1)
+        j.summary(jobs=1)
+    ledger = load_ledger(path)
+    assert ledger.finished
+    assert "finished" in ledger.describe()
+
+
+def test_load_ledger_tolerates_torn_lines_and_missing_file(tmp_path):
+    path = _write_journal(tmp_path / "run.jsonl")
+    with path.open("a") as fh:
+        fh.write('{"event": "cell", "key": "torn')  # crashed writer
+    ledger = load_ledger(path)
+    assert ledger.completed == {"k1"}  # torn line skipped, not fatal
+    empty = load_ledger(tmp_path / "never-written.jsonl")
+    assert empty.campaign is None and not empty.scheduled
+
+
+def test_failed_cells_are_not_in_flight(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.scheduled(["k1", "k2"])
+        j.cell("k1", "l1", "failed", 0.0)
+        j.cell("k2", "l2", "retried", 0.1)
+    ledger = load_ledger(path)
+    assert ledger.failed == {"k1"}
+    assert ledger.completed == {"k2"}
+    assert ledger.in_flight == set()
+
+
+# ---------------------------------------------------------- CLI validation
+def test_status_of_missing_journal_exits_2(tmp_path, capsys):
+    assert cli.main(["campaign", "status", str(tmp_path / "no.jsonl")]) == 2
+    assert "no journal" in capsys.readouterr().err
+
+
+def test_status_prints_ledger(tmp_path, capsys):
+    path = _write_journal(tmp_path / "run.jsonl")
+    assert cli.main(["campaign", "status", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "interrupted (resumable)" in out
+    assert "completed     1 cells" in out
+
+
+def test_resume_without_header_exits_2(tmp_path, capsys):
+    path = _write_journal(tmp_path / "run.jsonl", header=False)
+    assert cli.main(["campaign", "resume", str(path)]) == 2
+    assert "no campaign header" in capsys.readouterr().err
+
+
+def test_resume_of_faulted_campaign_exits_2(tmp_path, capsys):
+    path = _write_journal(tmp_path / "run.jsonl", faulted=True)
+    assert cli.main(["campaign", "resume", str(path)]) == 2
+    assert "not resumable" in capsys.readouterr().err
+
+
+def test_resume_without_cache_exits_2(tmp_path, capsys):
+    path = _write_journal(tmp_path / "run.jsonl", cache=None)
+    assert cli.main(["campaign", "resume", str(path)]) == 2
+    assert "--no-cache" in capsys.readouterr().err
+
+
+def test_resume_with_unknown_experiment_exits_2(tmp_path, capsys):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        meta = campaign_meta(["not-an-experiment"], {}, jobs=1, cache="/c")
+        j.campaign(campaign_id(meta), **meta)
+    assert cli.main(["campaign", "resume", str(path)]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+# ------------------------------------------------- kill-and-resume (E2E)
+#: CLI driver that first registers a 12-cell stub sweep (real cells,
+#: ~0.1 s each: a wide window to SIGKILL into) under 'stubsweep'
+DRIVER = '''
+import sys
+from dataclasses import dataclass
+
+from repro.campaign import CellSpec, get_engine
+from repro.experiments import EXPERIMENTS
+from repro.experiments.cli import main
+from repro.workloads import JobConfig
+
+
+@dataclass
+class StubResult:
+    checksums: list
+
+    def render(self):
+        return "stubsweep " + ",".join(f"{c:.17g}" for c in self.checksums)
+
+
+def stub_experiment():
+    specs = [
+        CellSpec(
+            "seesaw",
+            JobConfig(
+                analyses=("vacf",),
+                dim=16,
+                n_nodes=8,
+                seed=seed,
+                n_verlet_steps=150,
+            ),
+        )
+        for seed in range(1, 13)
+    ]
+    results = get_engine().run_cells(specs)
+    return StubResult([r.total_time_s for r in results])
+
+
+EXPERIMENTS["stubsweep"] = stub_experiment
+sys.exit(main(sys.argv[1:]))
+'''
+
+
+def _cli(driver, *args, **kwargs):
+    return subprocess.run(
+        [sys.executable, str(driver), *args],
+        env=ENV,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        **kwargs,
+    )
+
+
+def _wait_for_done_cell(journal: Path, deadline_s: float = 120.0) -> None:
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline_s:
+        if journal.exists():
+            for line in journal.read_text().splitlines():
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if rec.get("event") == "cell" and rec.get("status") == "done":
+                    return
+        time.sleep(0.005)
+    raise AssertionError("no cell completed before the kill deadline")
+
+
+def test_sigkill_then_resume_is_bit_identical_with_zero_recompute(tmp_path):
+    """ISSUE acceptance: SIGKILL a campaign mid-run; 'campaign resume'
+    completes it with zero recomputed finished cells and merged results
+    bit-identical to an uninterrupted run."""
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+
+    # reference: the same campaign, uninterrupted, in its own cache
+    ref = _cli(
+        driver,
+        "run",
+        "stubsweep",
+        "--journal",
+        str(tmp_path / "ref.jsonl"),
+        "--cache",
+        str(tmp_path / "ref-cache"),
+        "--output",
+        str(tmp_path / "ref-out"),
+    )
+    assert ref.returncode == 0, ref.stderr
+    ref_bytes = (tmp_path / "ref-out" / "stubsweep.json").read_bytes()
+
+    # the victim: killed with SIGKILL as soon as one cell lands
+    journal = tmp_path / "victim.jsonl"
+    out_dir = tmp_path / "victim-out"
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            str(driver),
+            "run",
+            "stubsweep",
+            "--journal",
+            str(journal),
+            "--cache",
+            str(tmp_path / "victim-cache"),
+            "--output",
+            str(out_dir),
+        ],
+        env=ENV,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        _wait_for_done_cell(journal)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    assert not (out_dir / "stubsweep.json").exists()  # died mid-sweep
+
+    ledger = load_ledger(journal)
+    assert ledger.completed  # at least one finished cell to protect
+    assert ledger.in_flight  # and work left to resume
+    completed_before = set(ledger.completed)
+
+    status = _cli(driver, "campaign", "status", str(journal))
+    assert status.returncode == 0
+    assert "interrupted (resumable)" in status.stdout
+
+    resumed = _cli(driver, "campaign", "resume", str(journal))
+    assert resumed.returncode == 0, resumed.stderr
+    assert "resuming campaign" in resumed.stderr
+
+    # bit-identical merged results
+    assert (out_dir / "stubsweep.json").read_bytes() == ref_bytes
+
+    # zero recomputed finished cells: after the resume record, every
+    # previously-completed key is a cache hit, never executed again
+    records = [
+        json.loads(l) for l in journal.read_text().splitlines() if l.strip()
+    ]
+    resume_at = max(
+        i for i, r in enumerate(records) if r["event"] == "resume"
+    )
+    after = [r for r in records[resume_at:] if r["event"] == "cell"]
+    recomputed = [
+        r["key"]
+        for r in after
+        if r["key"] in completed_before and r["status"] in ("done", "retried")
+    ]
+    assert recomputed == []
+    served = {
+        r["key"]
+        for r in after
+        if r["key"] in completed_before and r["status"] == "hit"
+    }
+    assert served == completed_before
+
+    # the resumed campaign is now a finished ledger
+    final = load_ledger(journal)
+    assert final.finished
+    assert final.resumes == 1
+    summary = [r for r in records if r["event"] == "summary"][-1]
+    assert summary.get("resumed") is True
+    assert summary["failed"] == 0
+
+    # resuming a finished campaign is a cheap all-hits no-op
+    again = _cli(driver, "campaign", "resume", str(journal))
+    assert again.returncode == 0, again.stderr
+    records = [
+        json.loads(l) for l in journal.read_text().splitlines() if l.strip()
+    ]
+    last_resume = max(
+        i for i, r in enumerate(records) if r["event"] == "resume"
+    )
+    statuses = {
+        r["status"] for r in records[last_resume:] if r["event"] == "cell"
+    }
+    assert statuses == {"hit"}

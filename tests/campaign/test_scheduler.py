@@ -1,0 +1,320 @@
+"""Scheduler unit tests: cost model, LPT placement, adaptive chunking,
+steal accounting, pool lifecycle, and end-to-end determinism.
+
+End-to-end tests use the real :func:`repro.campaign.cells.run_cell`
+(module-level, picklable); placement/steal tests drive the scheduler's
+queue logic directly without spawning processes.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignEngine,
+    CellSpec,
+    CellStore,
+    cell_key,
+    run_cell,
+)
+from repro.campaign.scheduler import (
+    CostModel,
+    SchedulerUnavailable,
+    Task,
+    WorkerPool,
+    WorkStealingScheduler,
+)
+from repro.metrics import MetricRegistry, use_metrics
+from repro.workloads import JobConfig
+
+
+def _spec(seed=1, steps=10, nodes=8):
+    return CellSpec(
+        "seesaw",
+        JobConfig(
+            analyses=("vacf",),
+            dim=16,
+            n_nodes=nodes,
+            seed=seed,
+            n_verlet_steps=steps,
+        ),
+    )
+
+
+def _offline_scheduler(n_workers=2, **kwargs):
+    """A scheduler whose pool is never started: queue logic only."""
+    pool = WorkerPool(n_workers, run_cell)
+    return WorkStealingScheduler(pool, **kwargs)
+
+
+# ----------------------------------------------------------- cost model
+def test_cost_model_ranks_bigger_cells_higher():
+    model = CostModel()
+    small = model.estimate(_spec(steps=10, nodes=8))
+    tall = model.estimate(_spec(steps=10, nodes=512))
+    long_ = model.estimate(_spec(steps=400, nodes=8))
+    assert small > 0
+    assert tall > small and long_ > small
+
+
+def test_cost_model_calibrates_and_predicts():
+    model = CostModel(alpha=0.5)
+    assert model.predict_s(100.0) is None
+    model.observe(units=100.0, wall_s=1.0)  # 0.01 s/unit
+    assert model.predict_s(200.0) == pytest.approx(2.0)
+    model.observe(units=100.0, wall_s=3.0)  # sample 0.03 -> EWMA 0.02
+    assert model.scale == pytest.approx(0.02)
+    assert model.observations == 2
+    # bad samples are ignored, not poisonous
+    model.observe(units=0.0, wall_s=1.0)
+    model.observe(units=10.0, wall_s=-1.0)
+    assert model.observations == 2
+
+
+def test_cost_model_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        CostModel(alpha=0.0)
+    with pytest.raises(ValueError):
+        CostModel(alpha=1.5)
+
+
+# ----------------------------------------------------------- placement
+def _tasks(costs):
+    return [Task(i, _spec(seed=i + 1), cost) for i, cost in enumerate(costs)]
+
+
+def test_lpt_assignment_balances_skewed_costs():
+    sched = _offline_scheduler(n_workers=2, longest_first=True)
+    # FIFO blocks would split this 19.0 / 3.0; LPT balances it 11 / 11
+    sched._assign(_tasks([10.0, 9.0, 1.0, 1.0, 1.0]))
+    loads = [sum(t.cost for t in q) for q in sched._queues]
+    assert sorted(loads) == [11.0, 11.0]
+    # the most expensive task is placed first
+    heads = {q[0].cost for q in sched._queues}
+    assert 10.0 in heads and 9.0 in heads
+
+
+def test_fifo_assignment_keeps_submission_blocks():
+    sched = _offline_scheduler(n_workers=2, longest_first=False)
+    sched._assign(_tasks([1.0, 2.0, 3.0, 4.0]))
+    assert [t.task_id for t in sched._queues[0]] == [0, 1]
+    assert [t.task_id for t in sched._queues[1]] == [2, 3]
+
+
+def test_chunk_size_is_guided_then_single_at_tail():
+    sched = _offline_scheduler()
+    assert sched._chunk_size(100) == sched.MAX_CHUNK
+    assert sched._chunk_size(16) == 4
+    assert sched._chunk_size(4) == 1
+    assert sched._chunk_size(1) == 1
+    static = _offline_scheduler(static_chunks=True)
+    assert static._chunk_size(100) == 100
+    assert static._chunk_size(1) == 1
+
+
+def test_idle_worker_steals_from_loaded_victims_tail():
+    sched = _offline_scheduler(n_workers=2, steal=True)
+    sched._assign(_tasks([5.0, 4.0, 3.0, 2.0, 1.0, 0.5]))
+    # drain worker 0's own queue so its next take must steal
+    sched._queues[0].clear()
+    victim_before = list(sched._queues[1])
+    registry = MetricRegistry()
+    with use_metrics(registry):
+        stolen = sched._take_chunk(0)
+    assert stolen  # half the victim's queue, from the cheap (tail) end
+    assert len(stolen) == max(1, len(victim_before) // 2)
+    assert stolen[0] is victim_before[-1]
+    assert sched.stats.steals == 1
+    assert sched.stats.stolen_cells == len(stolen)
+    assert registry.counter("campaign.sched.steals").value == 1
+    assert registry.counter("campaign.sched.stolen_cells").value == len(
+        stolen
+    )
+
+
+def test_steal_disabled_returns_empty_chunk():
+    sched = _offline_scheduler(n_workers=2, steal=False)
+    sched._assign(_tasks([5.0, 4.0, 3.0]))
+    sched._queues[0].clear()
+    assert sched._take_chunk(0) == []
+    assert sched.stats.steals == 0
+
+
+def test_eta_uses_calibrated_cost_model():
+    sched = _offline_scheduler(n_workers=2)
+    sched._assign(_tasks([10.0, 10.0]))
+    assert sched.eta_s() is None  # uncalibrated
+    sched.cost_model.observe(units=1.0, wall_s=0.1)
+    # 20 units over 2 workers at 0.1 s/unit -> 1 s
+    assert sched.eta_s() == pytest.approx(1.0)
+    sched._queues = []
+    assert sched.eta_s() == 0.0
+
+
+# ----------------------------------------------------------- end to end
+def test_run_yields_every_task_exactly_once_with_correct_results():
+    specs = [_spec(seed=s) for s in range(1, 9)]
+    expected = [run_cell(s) for s in specs]
+    pool = WorkerPool(2, run_cell)
+    sched = WorkStealingScheduler(pool)
+    try:
+        outcomes = list(sched.run(specs))
+    finally:
+        pool.shutdown()
+    assert sorted(o.task_id for o in outcomes) == list(range(8))
+    assert all(o.status == "ok" for o in outcomes)
+    for o in outcomes:
+        assert o.result == expected[o.task_id]
+    stats = sched.stats
+    assert stats.n_workers == 2
+    assert sum(w.cells for w in stats.workers) == 8
+    assert stats.wall_s > 0
+    assert sched.cost_model.observations == 8
+
+
+def test_fifo_static_baseline_still_produces_correct_results():
+    specs = [_spec(seed=s) for s in range(1, 6)]
+    expected = [run_cell(s) for s in specs]
+    pool = WorkerPool(2, run_cell)
+    sched = WorkStealingScheduler(
+        pool, longest_first=False, steal=False, static_chunks=True
+    )
+    try:
+        outcomes = list(sched.run(specs))
+    finally:
+        pool.shutdown()
+    assert all(o.status == "ok" for o in outcomes)
+    assert {o.task_id for o in outcomes} == set(range(5))
+    for o in outcomes:
+        assert o.result == expected[o.task_id]
+    assert sched.stats.steals == 0
+
+
+def test_scheduler_metrics_are_mirrored_into_registry():
+    registry = MetricRegistry()
+    specs = [_spec(seed=s) for s in range(1, 7)]
+    pool = WorkerPool(2, run_cell)
+    sched = WorkStealingScheduler(pool)
+    try:
+        with use_metrics(registry):
+            list(sched.run(specs))
+    finally:
+        pool.shutdown()
+    assert registry.counter("campaign.sched.dispatches").value >= 2
+    assert registry.gauge("campaign.sched.queue_depth").value == 0
+    assert registry.gauge("campaign.sched.worker0.utilization").samples == 1
+
+
+# ----------------------------------------------------------- pool
+def test_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        WorkerPool(0, run_cell)
+
+
+def test_pool_shutdown_is_idempotent_and_poisons_restart():
+    pool = WorkerPool(1, run_cell)
+    pool.ensure_started()
+    assert all(w.alive for w in pool.workers)
+    pool.shutdown()
+    pool.shutdown()
+    assert pool.workers == []
+    with pytest.raises(SchedulerUnavailable):
+        pool.ensure_started()
+
+
+def test_pool_respawn_replaces_process_in_place():
+    pool = WorkerPool(2, run_cell)
+    pool.ensure_started()
+    try:
+        worker = pool.workers[0]
+        old_pid = worker.proc.pid
+        pool.respawn(worker)
+        assert worker.alive
+        assert worker.proc.pid != old_pid
+        assert worker.stats.respawns == 1
+        # the respawned worker still executes work
+        sched = WorkStealingScheduler(pool)
+        outcomes = list(sched.run([_spec(seed=3)]))
+        assert [o.status for o in outcomes] == ["ok"]
+    finally:
+        pool.shutdown()
+
+
+# -------------------------------------------- orphaned-worker reaping
+def _sleep_ms_run(spec):
+    time.sleep(spec.cfg.n_verlet_steps * 1e-3)
+    return spec.cfg.seed
+
+
+def _long_specs():
+    # 30 s cells: the victim is guaranteed to die mid-batch
+    return [_spec(seed=s, steps=30_000) for s in (93, 94, 95, 96)]
+
+
+def _pooled_victim(root):
+    engine = CampaignEngine(
+        jobs=2, store=CellStore(root), run_fn=_sleep_ms_run
+    )
+    engine.run_cells(_long_specs())  # blocks until SIGKILLed
+
+
+def _children_of(pid):
+    try:
+        text = Path(f"/proc/{pid}/task/{pid}/children").read_text()
+    except OSError:
+        return []
+    return [int(p) for p in text.split()]
+
+
+def test_sigkill_of_parent_reaps_pool_workers(tmp_path):
+    """SIGKILLing a pooled campaign must not strand its workers.
+
+    The pool forks while the engine holds this batch's cell leases, so
+    the workers inherit the ``flock`` fds. If they linger after the
+    parent dies, the leases stay locked forever and any campaign
+    resuming (or sharing) the cache wedges in ``wait_for``. The worker
+    loop's parent-death watchdog must make them exit on their own,
+    releasing every inherited lock.
+    """
+    if not Path("/proc").exists():
+        pytest.skip("requires /proc to observe the worker processes")
+    root = tmp_path / "cache"
+    victim = multiprocessing.Process(target=_pooled_victim, args=(root,))
+    victim.start()
+    try:
+        deadline = time.monotonic() + 60.0
+        workers = []
+        while time.monotonic() - deadline < 0:
+            workers = _children_of(victim.pid)
+            if len(workers) >= 2:
+                break
+            time.sleep(0.01)
+        assert len(workers) >= 2, "pool never started in the victim"
+    finally:
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+
+    # The orphaned workers must notice the dead parent and exit. A worker
+    # already mid-cell only reaches the watchdog after its 30 s cell
+    # completes, so allow for that plus poll latency and suite load.
+    deadline = time.monotonic() + 45.0
+    alive = set(workers)
+    while alive and time.monotonic() < deadline:
+        for pid in list(alive):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                alive.discard(pid)
+        time.sleep(0.05)
+    assert not alive, f"workers {alive} survived their parent"
+
+    # ... which releases the inherited leases: every key is claimable
+    store = CellStore(root)
+    for spec in _long_specs():
+        lease = store.try_lease(cell_key(spec))
+        assert lease is not None, "lease still locked by a dead campaign"
+        lease.release()

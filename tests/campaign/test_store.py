@@ -1,4 +1,9 @@
-"""Content-addressed store: round-trips, misses, corruption, atomics."""
+"""Content-addressed store: round-trips, misses, corruption, atomics,
+and the single-flight lease protocol shared campaigns rely on."""
+
+import multiprocessing
+import threading
+import time
 
 from repro.campaign import CellSpec, CellStore, cell_key, run_cell
 from repro.campaign.store import default_cache_dir
@@ -54,6 +59,90 @@ def test_clear(tmp_path):
     store.put("cd" + "0" * 62, 2)
     assert store.clear() == 2
     assert len(store) == 0
+
+
+# --------------------------------------------------------- single-flight
+KEY = "ef" + "0" * 62
+
+
+def test_try_lease_is_exclusive_until_released(tmp_path):
+    store = CellStore(tmp_path)
+    lease = store.try_lease(KEY)
+    assert lease is not None and lease.held
+    # a second claimant (fresh store object = fresh fd) loses
+    rival = CellStore(tmp_path)
+    assert rival.try_lease(KEY) is None
+    assert rival.lease_lost == 1
+    lease.release()
+    assert not lease.held
+    lease.release()  # idempotent
+    second = rival.try_lease(KEY)
+    assert second is not None and second.held
+    second.release()
+    assert store.lease_acquired == 1 and rival.lease_acquired == 1
+
+
+def test_lease_is_a_context_manager(tmp_path):
+    store = CellStore(tmp_path)
+    with store.try_lease(KEY) as lease:
+        assert lease.held
+    assert not lease.held
+    assert CellStore(tmp_path).try_lease(KEY) is not None
+
+
+def test_wait_for_returns_committed_entry_after_release(tmp_path):
+    store = CellStore(tmp_path)
+    lease = store.try_lease(KEY)
+
+    def compute_and_commit():
+        time.sleep(0.1)
+        store.put(KEY, {"answer": 42})
+        lease.release()
+
+    t = threading.Thread(target=compute_and_commit)
+    t.start()
+    waiter = CellStore(tmp_path)
+    try:
+        assert waiter.wait_for(KEY, timeout_s=10.0) == {"answer": 42}
+    finally:
+        t.join()
+    assert waiter.lease_waits == 1
+
+
+def test_wait_for_without_a_holder_returns_entry_directly(tmp_path):
+    store = CellStore(tmp_path)
+    assert store.wait_for(KEY, timeout_s=0.1) is None  # no lock, no entry
+    store.put(KEY, 7)
+    assert store.wait_for(KEY, timeout_s=0.1) == 7
+
+
+def _lease_and_die(root, key):
+    CellStore(root).try_lease(key)
+    import os
+
+    os._exit(0)  # SIGKILL-equivalent: no release, no cleanup
+
+
+def test_crashed_holder_drops_its_lease(tmp_path):
+    """A SIGKILLed campaign's lease evaporates: waiters see None (no
+    committed entry) and can claim the key themselves."""
+    proc = multiprocessing.Process(target=_lease_and_die, args=(tmp_path, KEY))
+    proc.start()
+    proc.join(timeout=30)
+    store = CellStore(tmp_path)
+    assert store.wait_for(KEY, timeout_s=5.0) is None
+    lease = store.try_lease(KEY)  # the dead holder no longer blocks us
+    assert lease is not None and lease.held
+    lease.release()
+
+
+def test_clear_removes_lock_files_too(tmp_path):
+    store = CellStore(tmp_path)
+    store.put(KEY, 1)
+    store.try_lease(KEY).release()
+    assert (tmp_path / "locks").exists()
+    store.clear()
+    assert list(tmp_path.glob("locks/*.lock")) == []
 
 
 def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
