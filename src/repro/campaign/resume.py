@@ -28,12 +28,11 @@ actual re-execution so the experiment registry stays in one place.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.campaign.hashing import stable_hash
-from repro.campaign.journal import COMPLETED_STATUSES
+from repro.campaign.journal import COMPLETED_STATUSES, read_records
 
 __all__ = [
     "CampaignLedger",
@@ -126,25 +125,16 @@ class CampaignLedger:
 def load_ledger(path: Path | str) -> CampaignLedger:
     """Parse a journal into a :class:`CampaignLedger`.
 
-    Tolerant by construction: unparseable lines (a crashed writer's
-    torn tail on a filesystem without our advisory locks) are skipped,
-    and unknown events ignored — the ledger only ever *under*-counts
-    completions, which makes resume conservative, never wrong.
+    Tolerant by construction: the journal is read under its shared
+    advisory lock via :func:`repro.campaign.journal.read_records`, so
+    a writer mid-append can never hand us half a record; a torn tail
+    (crashed writer, lockless filesystem) and unknown events are
+    skipped — the ledger only ever *under*-counts completions, which
+    makes resume conservative, never wrong.
     """
     path = Path(path)
     ledger = CampaignLedger(path=path)
-    try:
-        text = path.read_text()
-    except OSError:
-        return ledger
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue
+    for record in read_records(path):
         event = record.get("event")
         if event == "campaign":
             ledger.campaign = record

@@ -124,6 +124,12 @@ class TaskOutcome:
     ``status``: ``ok`` (result present), ``error`` (the cell raised in
     the worker), ``timeout`` (no progress within ``timeout_s``; the
     worker was killed), ``lost`` (the worker died mid-cell).
+
+    ``wid`` is the worker *slot* (stable across respawns; ``-1`` when
+    no worker ran the cell); ``worker`` is the executing pid where
+    known. ``telemetry`` is the shipped tracer-record batch the worker
+    piggybacked on this result frame (None when shipping is off or the
+    cell emitted nothing) — see :mod:`repro.obs.ship`.
     """
 
     task_id: int
@@ -132,6 +138,8 @@ class TaskOutcome:
     wall_s: float = 0.0
     result: object = None
     error: str = ""
+    wid: int = -1
+    telemetry: dict | None = None
 
 
 @dataclass
@@ -173,9 +181,22 @@ class SchedulerStats:
 # worker process
 
 
-def _worker_main(wid: int, run_fn: Callable, conn_in, conn_out, parent_pid: int) -> None:
+def _worker_main(
+    wid: int,
+    run_fn: Callable,
+    conn_in,
+    conn_out,
+    parent_pid: int,
+    ship: bool = False,
+) -> None:
     """Worker loop: receive ``(chunk_id, [(task_id, spec), ...])``,
     execute each cell, stream one message back per cell.
+
+    With ``ship`` on, each cell runs under a tracer bound to a bounded
+    :class:`~repro.obs.ship.ShippingSink`; the drained batch rides the
+    cell's own result frame (no extra pipe traffic), and the parent's
+    :class:`~repro.obs.merge.TelemetryMux` re-stamps it into the
+    campaign-wide stream.
 
     The loop polls rather than blocking in ``recv`` so it can notice a
     dead parent. Pipe EOF alone is not a reliable death signal under
@@ -192,6 +213,14 @@ def _worker_main(wid: int, run_fn: Callable, conn_in, conn_out, parent_pid: int)
     a worker whose parent is killed before this line runs would record the
     reaper's pid and never notice the orphaning.
     """
+    tracer = None
+    sink = None
+    if ship:
+        from repro.obs.ship import ShippingSink
+        from repro.telemetry import Tracer, use_tracer
+
+        sink = ShippingSink(wid=wid)
+        tracer = Tracer(sink)
     while True:
         try:
             if not conn_in.poll(0.5):
@@ -207,11 +236,31 @@ def _worker_main(wid: int, run_fn: Callable, conn_in, conn_out, parent_pid: int)
         for task_id, spec in items:
             t0 = time.perf_counter()
             try:
-                result = run_fn(spec)
+                if tracer is not None:
+                    with use_tracer(tracer):
+                        result = run_fn(spec)
+                else:
+                    result = run_fn(spec)
             except BaseException as exc:  # noqa: BLE001 - forwarded to parent
-                payload = ("error", wid, task_id, repr(exc), time.perf_counter() - t0)
+                batch = sink.drain() if sink is not None else None
+                payload = (
+                    "error",
+                    wid,
+                    task_id,
+                    repr(exc),
+                    time.perf_counter() - t0,
+                    batch,
+                )
             else:
-                payload = ("ok", wid, task_id, result, time.perf_counter() - t0)
+                batch = sink.drain() if sink is not None else None
+                payload = (
+                    "ok",
+                    wid,
+                    task_id,
+                    result,
+                    time.perf_counter() - t0,
+                    batch,
+                )
             try:
                 conn_out.send(payload)
             except (BrokenPipeError, OSError):
@@ -268,11 +317,24 @@ class WorkerPool:
     respawned in place.
     """
 
-    def __init__(self, n_workers: int, run_fn: Callable) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        run_fn: Callable,
+        ship: bool | None = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.run_fn = run_fn
+        if ship is None:
+            # resolved in the parent at pool construction so one
+            # campaign's workers are uniformly on or off regardless of
+            # later environment edits
+            from repro.obs.ship import shipping_enabled
+
+            ship = shipping_enabled()
+        self.ship = ship
         self._workers: list[_Worker] = []
         self._mp: Any = None  # multiprocessing context, set on first start
         self._started = False
@@ -314,7 +376,14 @@ class WorkerPool:
         outbox_recv, outbox_send = self._mp.Pipe(duplex=False)
         proc = self._mp.Process(
             target=_worker_main,
-            args=(worker.wid, self.run_fn, inbox_recv, outbox_send, os.getpid()),
+            args=(
+                worker.wid,
+                self.run_fn,
+                inbox_recv,
+                outbox_send,
+                os.getpid(),
+                self.ship,
+            ),
             daemon=True,
             name=f"campaign-worker-{worker.wid}",
         )
@@ -577,7 +646,9 @@ class WorkStealingScheduler:
                 for conn in ready:
                     worker = conns[conn]
                     try:
-                        kind, wid, task_id, payload, wall_s = conn.recv()
+                        msg = conn.recv()
+                        kind, wid, task_id, payload, wall_s = msg[:5]
+                        telemetry = msg[5] if len(msg) > 5 else None
                     except Exception:
                         continue  # death handled by liveness sweep below
                     task = worker.outstanding.pop(task_id, None)
@@ -595,6 +666,8 @@ class WorkStealingScheduler:
                             worker=worker.stats.pid or wid,
                             wall_s=wall_s,
                             result=payload,
+                            wid=worker.wid,
+                            telemetry=telemetry,
                         )
                     else:
                         yield TaskOutcome(
@@ -603,6 +676,8 @@ class WorkStealingScheduler:
                             worker=worker.stats.pid or wid,
                             wall_s=wall_s,
                             error=payload,
+                            wid=worker.wid,
+                            telemetry=telemetry,
                         )
                 # liveness + timeout sweep
                 for worker in workers:

@@ -195,10 +195,23 @@ def _build_engine(args) -> tuple[CampaignEngine, RunJournal]:
 
 
 def _cmd_campaign(args) -> int:
-    """Inspect (``status``) or re-enter (``resume``) a campaign journal."""
+    """Inspect, watch, report on, or re-enter a campaign journal."""
+    if args.campaign_cmd == "watch":
+        # a not-yet-created journal is watched patiently (start the
+        # watch first, the sweep second), so no existence check here
+        from repro.obs.watch import watch_journal
+
+        return watch_journal(
+            args.journal,
+            interval=args.interval,
+            iterations=args.iterations,
+            once=args.once,
+        )
     if not args.journal.exists():
         print(f"no journal at {args.journal}", file=sys.stderr)
         return 2
+    if args.campaign_cmd == "report":
+        return _cmd_campaign_report(args)
     ledger = load_ledger(args.journal)
     if args.campaign_cmd == "status":
         print(ledger.describe())
@@ -255,6 +268,7 @@ def _cmd_campaign(args) -> int:
         journal=journal,
         progress=sys.stderr.isatty(),
     )
+    engine.obs.campaign_id = cid
     scopes = contextlib.ExitStack()
     if meta.get("no_shared_replica"):
         from repro.insitu import use_shared_replica
@@ -275,6 +289,36 @@ def _cmd_campaign(args) -> int:
         f"[campaign {cid} resumed: {c['hits']} cells served from the "
         f"cache, {c['misses']} executed this leg]"
     )
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    """``campaign report``: energy attribution from journal telemetry."""
+    from repro.obs.report import build_report, load_report_records, render_text
+
+    campaign, telemetry = load_report_records(args.journal)
+    report = build_report(telemetry, campaign=campaign)
+    if not telemetry:
+        print(
+            "journal has no telemetry rows (campaign ran with "
+            f"SEESAW_OBS_SHIP=0, --jobs 1 without --trace, or predates "
+            f"shipping); report will be empty",
+            file=sys.stderr,
+        )
+    if args.format == "json":
+        text = json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+    elif args.format == "html":
+        from repro.obs.html import render_html
+
+        text = render_html(report)
+    else:
+        text = render_text(report) + "\n"
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text)
+        print(f"[campaign report ({args.format}) -> {args.out}]")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -740,10 +784,15 @@ def _main(argv: list[str] | None = None) -> int:
 
     campaign_p = sub.add_parser(
         "campaign",
-        help="inspect or resume a recorded campaign journal",
+        help="inspect, watch, report on, or resume a campaign journal",
         description="Work with campaign journals written by "
         "'run --journal PATH': 'status' prints the replayable ledger "
-        "(completed / in-flight cells, resumability); 'resume' "
+        "(completed / in-flight cells, resumability); 'watch' tails "
+        "the journal as a live in-terminal dashboard (worker "
+        "utilization, steals, ETA, cache hit rate, power sparklines); "
+        "'report' renders the SeeSAw-style energy attribution (joules "
+        "and wall time by rank x phase x controller decision interval) "
+        "as text, JSON, or self-contained HTML; 'resume' "
         "re-enters a killed campaign — completed cells are served from "
         "the recorded cell cache (never recomputed), in-flight and "
         "pending cells execute normally, and the merged results are "
@@ -754,6 +803,48 @@ def _main(argv: list[str] | None = None) -> int:
         "status", help="print the campaign ledger of one journal"
     )
     status_p.add_argument("journal", type=Path, help="campaign journal path")
+    watch_p = campaign_sub.add_parser(
+        "watch",
+        help="live dashboard: tail a (possibly still-running) campaign",
+    )
+    watch_p.add_argument("journal", type=Path, help="campaign journal path")
+    watch_p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="refresh period in seconds (default: 1.0)",
+    )
+    watch_p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until the summary row)",
+    )
+    watch_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit",
+    )
+    report_p = campaign_sub.add_parser(
+        "report",
+        help="energy attribution report from the journal's telemetry",
+    )
+    report_p.add_argument("journal", type=Path, help="campaign journal path")
+    report_p.add_argument(
+        "--format",
+        choices=("text", "json", "html"),
+        default="text",
+        help="output format (default: text)",
+    )
+    report_p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
     resume_p = campaign_sub.add_parser(
         "resume",
         help="resume a killed campaign; completed cells are never recomputed",
@@ -843,6 +934,11 @@ def _main(argv: list[str] | None = None) -> int:
     if args.command == "campaign":
         if args.campaign_cmd == "resume" and args.jobs is not None and args.jobs < 1:
             parser.error("--jobs must be >= 1")
+        if args.campaign_cmd == "watch":
+            if args.interval <= 0:
+                parser.error("--interval must be > 0")
+            if args.iterations is not None and args.iterations < 1:
+                parser.error("--iterations must be >= 1")
         return _cmd_campaign(args)
 
     if args.runs is not None and args.runs < 1:
@@ -870,11 +966,21 @@ def _main(argv: list[str] | None = None) -> int:
         or args.metrics is not None
         or args.audit is not None
     ):
-        print(
-            "warning: --trace/--metrics/--audit record in-process work "
-            "only; pool workers (--jobs > 1) are not instrumented",
-            file=sys.stderr,
-        )
+        from repro.obs import shipping_enabled
+
+        if not shipping_enabled():
+            print(
+                "warning: SEESAW_OBS_SHIP=0 disables worker telemetry "
+                "shipping; --trace/--metrics will record in-process "
+                "work only (--audit always does)",
+                file=sys.stderr,
+            )
+        elif args.audit is not None:
+            print(
+                "warning: --audit records in-process decisions only; "
+                "pool workers ship trace/metrics but not audit rows",
+                file=sys.stderr,
+            )
 
     # One tracer can feed both the metrics registry and the Chrome
     # trace: the MetricsSink folds records and forwards to the file
@@ -939,7 +1045,10 @@ def _main(argv: list[str] | None = None) -> int:
             no_shared_replica=args.no_shared_replica,
             faulted=args.faults is not None or args.chaos_seed is not None,
         )
-        journal.campaign(campaign_id(meta), **meta)
+        cid = campaign_id(meta)
+        journal.campaign(cid, **meta)
+        # shipped worker telemetry carries the campaign identity
+        engine.obs.campaign_id = cid
     try:
         with scopes:
             with use_engine(engine):

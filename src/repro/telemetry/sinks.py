@@ -19,6 +19,7 @@ The Chrome ``trace_event`` exporter lives in
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 __all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "JournalSink"]
@@ -48,35 +49,61 @@ class NullSink(Sink):
 
 
 class MemorySink(Sink):
-    """Buffers records in memory — for tests and the summary report."""
+    """Buffers records in memory — for tests and the summary report.
+
+    Emit/clear are lock-guarded: with campaign telemetry shipping the
+    parent merges worker batches while in-process instrumentation may
+    be emitting on another thread, so two concurrent ``emit`` calls
+    must never corrupt the list (CPython's list.append is atomic, but
+    subclasses — :class:`~repro.telemetry.chrome.ChromeTraceSink` — and
+    ``clear`` racing an append are not guaranteed to be).
+    """
 
     def __init__(self) -> None:
         self.records: list[dict] = []
+        self._lock = threading.Lock()
 
     def emit(self, record: dict) -> None:
-        self.records.append(record)
+        with self._lock:
+            self.records.append(record)
 
     def clear(self) -> None:
-        self.records.clear()
+        with self._lock:
+            self.records.clear()
 
 
 class JsonlSink(Sink):
-    """Streams records as JSON lines to ``path`` (append mode)."""
+    """Streams records as JSON lines to ``path`` (append mode).
 
-    def __init__(self, path: Path | str) -> None:
+    ``flush_every`` bounds how stale the file can be: the sink flushes
+    after every N records (and on :meth:`close`), so a live tail — a
+    concurrent ``campaign watch``, or post-crash forensics — sees
+    records promptly instead of whatever survived libc's buffer.
+    """
+
+    def __init__(self, path: Path | str, flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = Path(path)
+        self.flush_every = flush_every
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a")
+        self._pending = 0
 
     def emit(self, record: dict) -> None:
         if self._fh is not None:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._pending += 1
+            if self._pending >= self.flush_every:
+                self._fh.flush()
+                self._pending = 0
 
     def close(self) -> None:
         if self._fh is not None:
             self._fh.flush()
             self._fh.close()
             self._fh = None
+            self._pending = 0
 
 
 class JournalSink(Sink):

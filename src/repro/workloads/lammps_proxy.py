@@ -47,6 +47,7 @@ from repro.core.types import Observation, PartitionMeasurement
 from repro.power.execution import execute_phase
 from repro.power.rapl import CapMode, RaplDomainArray
 from repro.power.trace import PowerTrace
+from repro.telemetry import get_tracer
 from repro.util.rng import RngStream
 from repro.workloads.profiles import (
     WorkPhase,
@@ -358,6 +359,22 @@ class ProxyJobSession:
         self.step_index = 0
         self.records: list[SyncRecord] = []
 
+        # Phase telemetry rides the ambient tracer when one is enabled
+        # (campaign workers install a shipping tracer, `run --trace` an
+        # in-process one). Mirror the DES engine: each run binds the
+        # job's virtual clock and becomes its own trace process, so
+        # back-to-back runs never overlap timelines.
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
+        if self._tracer is not None:
+            tracer.bind_clock(
+                lambda: self.t,
+                label=(
+                    f"proxy {controller.name} d{cfg.dim} "
+                    f"s{cfg.seed} r{run_index}"
+                ),
+            )
+
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
@@ -429,6 +446,10 @@ class ProxyJobSession:
         # waiting for the other partition (spin-wait draw)
         sim_wait = work - sim_times
         ana_wait = work - ana_times
+        # pre-wait energies: what "md"/"analysis" phases burned doing
+        # work, before wait/sync draws are folded in (telemetry splits
+        # the two; the controller sees only the folded totals below)
+        sim_work_j, ana_work_j = sim_energy, ana_energy
         t_arrive = t0 + work
         sim_energy = sim_energy + sim_wait * sim.wait_draw(t_arrive)
         ana_energy = ana_energy + ana_wait * ana.wait_draw(t_arrive)
@@ -485,6 +506,20 @@ class ProxyJobSession:
                 sim.domain.request_caps(decision.sim_caps_w, now=t_decide)
                 ana.domain.request_caps(decision.ana_caps_w, now=t_decide)
 
+        if self._tracer is not None:
+            self._emit_phases(
+                t0,
+                due,
+                work,
+                step_overhead + step_sync_s,
+                sim_times,
+                ana_times,
+                sim_work_j,
+                ana_work_j,
+                sim_energy,
+                ana_energy,
+            )
+
         record = SyncRecord(
             step=step,
             t_start=t0,
@@ -505,6 +540,69 @@ class ProxyJobSession:
         self.t = t0 + interval
         self.step_index = step
         return record
+
+    def _emit_phases(
+        self,
+        t0: float,
+        due: list,
+        work: float,
+        tail_s: float,
+        sim_times: np.ndarray,
+        ana_times: np.ndarray,
+        sim_work_j: np.ndarray,
+        ana_work_j: np.ndarray,
+        sim_total_j: np.ndarray,
+        ana_total_j: np.ndarray,
+    ) -> None:
+        """Per-rank phase spans for this interval (tracer enabled only).
+
+        Simulation ranks are trace threads ``1..n_sim``, analysis ranks
+        ``n_sim+1..n_nodes`` (tid 0 stays the controller lane).
+        ``phase.md`` / ``phase.analysis`` carry each rank's work time
+        and pre-wait energy; ``insitu.sync`` carries the spin-wait plus
+        the exchange/actuation tail and the energy burned waiting — so
+        the attribution report's md / analysis / sync-wait split sums
+        exactly to the proxy's own per-interval energy accounting.
+        """
+        complete = self._tracer.complete
+        for r, (t_r, wj, tj) in enumerate(
+            zip(
+                sim_times.tolist(),
+                sim_work_j.tolist(),
+                sim_total_j.tolist(),
+            )
+        ):
+            if t_r > 0.0:
+                complete(
+                    "phase.md", t_r, cat="proxy", tid=r + 1, ts=t0,
+                    energy_j=wj,
+                )
+            sync = work - t_r + tail_s
+            if sync > 0.0:
+                complete(
+                    "insitu.sync", sync, cat="proxy", tid=r + 1,
+                    ts=t0 + t_r, energy_j=tj - wj,
+                )
+        n_sim = self.cfg.n_sim
+        for k, (t_a, wj, tj) in enumerate(
+            zip(
+                ana_times.tolist(),
+                ana_work_j.tolist(),
+                ana_total_j.tolist(),
+            )
+        ):
+            tid = n_sim + k + 1
+            if due and t_a > 0.0:
+                complete(
+                    "phase.analysis", t_a, cat="proxy", tid=tid, ts=t0,
+                    energy_j=wj,
+                )
+            sync = work - t_a + tail_s
+            if sync > 0.0:
+                complete(
+                    "insitu.sync", sync, cat="proxy", tid=tid,
+                    ts=t0 + t_a, energy_j=tj - wj,
+                )
 
     def run(self) -> JobResult:
         """Run the remaining synchronizations to completion."""

@@ -5,6 +5,7 @@ import json
 import multiprocessing
 
 from repro.campaign import RunJournal
+from repro.campaign.journal import read_records, tail_records
 
 
 def test_counters_only_without_path():
@@ -199,3 +200,42 @@ def test_concurrent_open_repairs_tail_without_eating_live_records(tmp_path):
     keys = [r["key"] for r in records]
     assert "old" in keys and len(keys) == 21  # 1 old + 2 x 10, torn dropped
     assert not any(k == "torn" for k in keys)
+
+
+# ------------------------------------------------------------- read side
+def test_read_records_of_missing_file_is_empty(tmp_path):
+    assert read_records(tmp_path / "nope.jsonl") == []
+
+
+def test_tail_records_is_incremental_and_torn_tail_aware(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.cell("k1", "l1", "done", 0.1)
+        j.cell("k2", "l2", "done", 0.2)
+    records, offset = tail_records(path, 0)
+    assert [r["key"] for r in records] == ["k1", "k2"]
+    assert offset == path.stat().st_size
+
+    # nothing new: same offset back, no records
+    assert tail_records(path, offset) == ([], offset)
+
+    # a torn tail stays unread until its newline arrives
+    with path.open("a") as fh:
+        fh.write('{"event": "cell", "key": "k3"')
+    assert tail_records(path, offset) == ([], offset)
+    with path.open("a") as fh:
+        fh.write(', "status": "done"}\n')
+    records, offset2 = tail_records(path, offset)
+    assert [r["key"] for r in records] == ["k3"]
+    assert offset2 == path.stat().st_size
+
+
+def test_read_records_skips_unparseable_lines(tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_text('{"event": "a"}\ngarbage\n42\n{"event": "b"}\n')
+    assert [r["event"] for r in read_records(path) if "event" in r] == [
+        "a",
+        "b",
+    ]
+    # non-dict JSON lines (the bare 42) are dropped too
+    assert all(isinstance(r, dict) for r in read_records(path))

@@ -100,6 +100,32 @@ def test_failed_cells_are_not_in_flight(tmp_path):
     assert ledger.in_flight == set()
 
 
+def test_status_tolerates_mid_write_journal(tmp_path, capsys):
+    """ISSUE satellite: ``campaign status`` on a journal a live writer
+    is mid-append to (torn final line) reads the complete prefix
+    read-only — the partial record is skipped, never repaired away."""
+    path = _write_journal(tmp_path / "run.jsonl")
+    before = path.read_bytes()
+    with path.open("a") as fh:
+        fh.write('{"event": "cell", "key": "k3", "stat')  # mid-write
+    torn = path.read_bytes()
+    assert cli.main(["campaign", "status", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "completed     1 cells" in out
+    assert "in flight     2 cells" in out  # k3's torn row not counted
+    # read-only: the torn tail is still on disk for its writer
+    assert path.read_bytes() == torn != before
+
+
+def test_load_ledger_skips_garbage_lines(tmp_path):
+    path = _write_journal(tmp_path / "run.jsonl")
+    with path.open("a") as fh:
+        fh.write("not json at all\n")
+        fh.write(json.dumps({"event": "cell", "key": "k3", "status": "done"}) + "\n")
+    ledger = load_ledger(path)
+    assert ledger.completed == {"k1", "k3"}
+
+
 # ---------------------------------------------------------- CLI validation
 def test_status_of_missing_journal_exits_2(tmp_path, capsys):
     assert cli.main(["campaign", "status", str(tmp_path / "no.jsonl")]) == 2

@@ -1,0 +1,138 @@
+"""End-to-end observability plane: real 2-worker campaigns.
+
+ISSUE acceptance, pinned here:
+
+* a 4-cell, 2-worker campaign under ``--trace`` produces **one**
+  merged Chrome trace containing per-worker campaign lanes and the
+  workers' own phase telemetry, and the merged stream passes
+  ``validate_spans``;
+* per-phase joule totals in the attribution report reconcile with the
+  metrics registry's ``span.<phase>.energy_j`` sums exactly;
+* ``SEESAW_OBS_SHIP=0`` disables shipping: results stay bit-identical
+  and the journal carries no telemetry rows.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignEngine, CellSpec, RunJournal
+from repro.campaign.journal import read_records
+from repro.metrics import MetricRegistry, MetricsSink, use_metrics
+from repro.obs.merge import PID_STRIDE
+from repro.telemetry import MemorySink, Tracer, use_tracer, validate_spans
+from repro.workloads import JobConfig
+
+
+def _specs():
+    return [
+        CellSpec(
+            "seesaw",
+            JobConfig(
+                analyses=("vacf",), dim=16, n_nodes=8, seed=s,
+                n_verlet_steps=10,
+            ),
+            run_index=r,
+        )
+        for s in (1, 2)
+        for r in (0, 1)
+    ]
+
+
+@pytest.fixture()
+def shipped(tmp_path):
+    """Run the acceptance campaign once; share it across assertions."""
+    registry = MetricRegistry()
+    mem = MemorySink()
+    journal = RunJournal(tmp_path / "run.jsonl")
+    engine = CampaignEngine(jobs=2, journal=journal)
+    with use_metrics(registry), use_tracer(Tracer(MetricsSink(registry, forward=mem))):
+        results = engine.run_cells(_specs())
+    engine.close()
+    journal.close()
+    return results, mem.records, registry, journal.path
+
+
+def test_merged_trace_has_per_worker_lanes_and_validates(shipped):
+    _, records, _, _ = shipped
+    assert validate_spans(records) == []
+    # shipped worker records landed in the parent stream, re-stamped
+    workers = {r["worker"] for r in records if "worker" in r}
+    assert workers == {0, 1}
+    for rec in records:
+        wid = rec.get("worker")
+        if wid is not None and rec.get("ph") != "M":
+            block = rec["pid"] // PID_STRIDE
+            assert block == wid + 1  # each worker owns its pid block
+    # the campaign process shows one row per worker
+    cell_tids = {
+        r["tid"] for r in records if r.get("name") == "campaign.cell"
+    }
+    assert cell_tids == {1, 2}
+    # and the workers' own phase telemetry is present
+    names = {r.get("name") for r in records}
+    assert {"phase.md", "phase.analysis", "insitu.sync"} <= names
+
+
+def test_report_joules_reconcile_with_metrics_registry(shipped):
+    from repro.obs.report import build_report, load_report_records
+
+    _, _, registry, journal_path = shipped
+    campaign, telemetry = load_report_records(journal_path)
+    report = build_report(telemetry, campaign=campaign)
+    assert report.by_phase  # phases actually shipped
+    for name, bucket in report.by_phase.items():
+        hist = registry.histogram(f"span.{name}.energy_j")
+        if hist.count == 0:
+            # zero-energy instants (cap actuation) never hit the fold
+            assert bucket["energy_j"] == 0.0
+            continue
+        assert bucket["energy_j"] == pytest.approx(hist.total, rel=1e-12)
+        assert bucket["count"] == hist.count
+    # ranks and decision intervals came through
+    assert sorted(report.by_rank) == list(range(8))
+    assert report.decisions > 0
+    assert len(report.intervals) >= len(report.runs) >= 4
+
+
+def test_sched_rows_journal_worker_stats(shipped):
+    _, _, _, journal_path = shipped
+    sched = [r for r in read_records(journal_path) if r["event"] == "sched"]
+    assert sched and sched[-1]["final"] is True
+    last = sched[-1]
+    assert last["n_workers"] == 2
+    assert last["queue_depth"] == 0
+    wids = {w["wid"] for w in last["workers"]}
+    assert wids == {0, 1}
+    assert last["ship_records"] > 0
+
+
+def test_ship_disabled_is_bit_identical_and_journal_silent(
+    tmp_path, monkeypatch
+):
+    serial = CampaignEngine(jobs=1).run_cells(_specs())
+
+    monkeypatch.setenv("SEESAW_OBS_SHIP", "0")
+    journal = RunJournal(tmp_path / "off.jsonl")
+    engine = CampaignEngine(jobs=2, journal=journal)
+    mem = MemorySink()
+    with use_tracer(Tracer(mem)):
+        off = engine.run_cells(_specs())
+    engine.close()
+    journal.close()
+    assert engine.obs.absorbed == 0 and engine.obs.dropped == 0
+    assert not any(
+        r["event"] == "telemetry" for r in read_records(journal.path)
+    )
+    assert not any("worker" in r for r in mem.records)
+
+    monkeypatch.delenv("SEESAW_OBS_SHIP")
+    engine_on = CampaignEngine(jobs=2)
+    on = engine_on.run_cells(_specs())
+    engine_on.close()
+
+    # shipping must never perturb results: serial == off == on
+    assert serial == off == on
+    assert json.dumps(
+        [r.total_time_s for r in off]
+    ) == json.dumps([r.total_time_s for r in on])
