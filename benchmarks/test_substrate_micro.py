@@ -35,6 +35,32 @@ def test_engine_event_throughput(benchmark):
     assert benchmark(run) == 10_000
 
 
+def test_engine_cancellation_churn(benchmark):
+    """Cap-change-storm shape: schedule a wave, cancel almost all of
+    it, reschedule. Without compaction the heap grows with every wave
+    and dead entries dominate pops; with it the run stays flat."""
+
+    def run():
+        eng = Engine()
+        state = {"wave": 0}
+
+        def storm():
+            state["wave"] += 1
+            handles = [
+                eng.schedule(1.0 + i * 1e-6, lambda: None) for i in range(256)
+            ]
+            for h in handles[:-1]:
+                eng.cancel(h)
+            if state["wave"] < 50:
+                eng.schedule(1e-3, storm)
+
+        eng.schedule(0.0, storm)
+        eng.run()
+        return eng.compactions
+
+    assert benchmark(run) > 0
+
+
 def test_process_switch_throughput(benchmark):
     def run():
         eng = Engine()

@@ -7,14 +7,26 @@ the 1024-node proxy jobs all advance a single virtual clock owned by an
 
 Design notes
 ------------
-* Events are kept in a binary heap keyed by ``(time, sequence)``. The
-  monotonically increasing sequence number makes simultaneous events
-  fire in schedule order, which keeps runs bit-for-bit reproducible —
-  a property the experiment harness relies on to pair managed runs with
-  their baselines (paper §VII-A).
-* Events are cancellable in O(1) by flagging the handle; cancelled
-  entries are dropped lazily when popped. Power-cap changes re-schedule
-  in-flight compute completions, so cancellation is on the hot path.
+* Events are kept in a binary heap of slotted ``[time, seq, callback]``
+  entries. The monotonically increasing sequence number is unique, so a
+  heap sift is decided entirely by the ``(time, seq)`` prefix and runs
+  in C — the hot loop pays no Python-level comparison calls and no
+  per-event handle allocation. The sequence number also makes
+  simultaneous events fire in schedule order, which keeps runs
+  bit-for-bit reproducible — a property the experiment harness relies
+  on to pair managed runs with their baselines (paper §VII-A).
+* The entry itself is the cancellation handle: :meth:`Engine.cancel`
+  clears the callback slot in O(1) and cleared entries are dropped
+  lazily when popped. Power-cap changes re-schedule in-flight compute
+  completions, so cancellation is on the hot path. When dead entries
+  outnumber live ones the heap is compacted (filter + re-heapify),
+  bounding both memory and per-pop skip work under cap-change storms
+  (see DESIGN.md §15).
+* ``run()`` selects a dispatch loop specialized for the hooks actually
+  installed (tracer / sampler / faults), so a bare engine pays zero
+  per-event branch checks for disabled instrumentation. ``step()``
+  stays the fully general single-step API; both produce bit-identical
+  trajectories.
 * There is no wall-clock coupling anywhere: a 1024-node, 400-step job
   simulates in milliseconds of host time.
 """
@@ -23,7 +35,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+import math
+from typing import Any, Callable, List, Optional
 
 from repro.faults.injector import get_faults
 from repro.metrics.audit import get_audit
@@ -32,49 +45,81 @@ from repro.telemetry import get_tracer
 
 __all__ = ["Engine", "EventHandle", "SimulationError"]
 
+_INF = math.inf
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: A scheduled event is its own handle: a mutable ``[time, seq,
+#: callback]`` triple whose ``(time, seq)`` prefix orders the heap in C.
+#: Slot 2 is the *callback slot* — cleared to ``None`` when the event
+#: fires or is cancelled, so a handle is live iff ``handle[2] is not
+#: None``. Cancel through :meth:`Engine.cancel` (which keeps the dead
+#:-entry accounting right), never by mutating the slot directly.
+EventHandle = List[Any]
+
 
 class SimulationError(RuntimeError):
     """Raised for structural errors in the simulation (deadlock, etc.)."""
 
 
-class EventHandle:
-    """Handle to a scheduled callback; supports O(1) cancellation."""
+def _build_run_loop(
+    tracer_on: bool, sampler_on: bool, faults_on: bool
+) -> Callable[["Engine"], None]:
+    """Compile a drain-the-heap loop with only the needed hook lines.
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
+    Hook order matches :meth:`Engine.step` exactly (advance clock →
+    faults → sampler → count → tracer → callback) so every variant
+    produces the same trajectory; disabled hooks are absent from the
+    bytecode rather than guarded by per-event branches. The executed
+    -event count is accumulated locally and flushed in a ``finally`` so
+    an exception in a callback still leaves ``events_executed`` exact.
+    """
+    lines = ["def _run_loop(engine):", "    heap = engine._heap"]
+    if faults_on:
+        lines.append("    faults_advance = engine._faults.on_advance")
+    if sampler_on:
+        lines.append("    sampler = engine._sampler")
+    if tracer_on:
+        lines.append("    trace_complete = engine._tracer.complete")
+    lines += [
+        "    n = 0",
+        "    try:",
+        "        while heap:",
+        "            entry = _heappop(heap)",
+        "            callback = entry[2]",
+        "            if callback is None:",
+        "                engine._dead -= 1",
+        "                continue",
+        "            entry[2] = None",
+        "            engine._now = entry[0]",
+    ]
+    if faults_on:
+        lines.append("            faults_advance(entry[0])")
+    if sampler_on:
+        lines.append("            sampler(entry[0])")
+    lines.append("            n += 1")
+    if tracer_on:
+        lines.append(
+            "            trace_complete("
+            "'des.dispatch', 0.0, cat='des', tid=0, seq=entry[1])"
+        )
+    lines += [
+        "            callback()",
+        "    finally:",
+        "        engine.events_executed += n",
+    ]
+    namespace: dict = {"_heappop": heapq.heappop}
+    exec(compile("\n".join(lines), "<des-run-loop>", "exec"), namespace)
+    return namespace["_run_loop"]
 
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[[], None],
-        engine: "Engine | None" = None,
-    ):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
-        # live-event accounting: the owning engine is detached once the
-        # event fires or is cancelled, so each handle decrements the
-        # engine's live counter at most once
-        self._engine = engine
 
-    def cancel(self) -> None:
-        """Prevent the callback from firing; safe to call twice."""
-        if self.cancelled:
-            return
-        self.cancelled = True
-        self.callback = None  # release references promptly
-        engine = self._engine
-        self._engine = None
-        if engine is not None:
-            engine._live -= 1
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+#: pre-built dispatch loops keyed by (tracer_on, sampler_on, faults_on)
+_RUN_LOOPS: dict[tuple[bool, bool, bool], Callable[["Engine"], None]] = {
+    (t, s, f): _build_run_loop(t, s, f)
+    for t in (False, True)
+    for s in (False, True)
+    for f in (False, True)
+}
 
 
 class Engine:
@@ -87,14 +132,23 @@ class Engine:
         eng.run()
     """
 
+    #: compaction trigger: rebuild the heap once at least this many
+    #: cancelled entries are parked in it AND they outnumber live ones.
+    #: The floor keeps tiny heaps on the pure lazy-deletion path; the
+    #: majority rule makes compaction cost amortized O(1) per cancel.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
         self._now = 0.0
+        #: heap of slotted [time, seq, callback] entries — see module notes
         self._heap: list[EventHandle] = []
         self._seq = itertools.count()
         self._running = False
-        #: count of live (scheduled, not yet fired or cancelled) events;
-        #: maintained incrementally so ``pending`` is O(1)
-        self._live = 0
+        #: cancelled entries still parked in the heap; drives compaction
+        #: and makes ``pending`` O(1) (len(heap) minus dead entries)
+        self._dead = 0
+        #: number of heap compactions performed (diagnostic)
+        self.compactions = 0
         #: number of callbacks executed; useful for complexity assertions
         self.events_executed = 0
         # Each traced engine is a fresh trace "process": sequential runs
@@ -137,76 +191,116 @@ class Engine:
         advance (see :class:`repro.metrics.timeseries.PeriodicSampler`).
 
         The sampler is a pure observer: it must not schedule events or
-        otherwise perturb the simulation.
+        otherwise perturb the simulation. Hooks are bound when ``run()``
+        selects its dispatch loop, so samplers must be attached before
+        the run starts.
         """
+        if self._running:
+            raise SimulationError(
+                "attach_sampler() during run(): hooks are bound when the "
+                "dispatch loop is selected at run() entry"
+            )
         self._sampler = sampler
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
     ) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
-        handle = EventHandle(
-            self._now + delay, next(self._seq), callback, engine=self
-        )
-        heapq.heappush(self._heap, handle)
-        self._live += 1
-        return handle
+        if not 0.0 <= delay < _INF:  # rejects negatives, inf and NaN
+            raise ValueError(
+                f"cannot schedule with non-finite or negative delay "
+                f"(delay={delay})"
+            )
+        entry = [self._now + delay, next(self._seq), callback]
+        _heappush(self._heap, entry)
+        return entry
 
     def schedule_at(
         self, time: float, callback: Callable[[], None]
     ) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``time``."""
-        if time < self._now:
+        if not self._now <= time < _INF:  # rejects past, inf and NaN
             raise ValueError(
-                f"cannot schedule at t={time} before now={self._now}"
+                f"cannot schedule at t={time}: need a finite time >= "
+                f"now={self._now}"
             )
-        handle = EventHandle(time, next(self._seq), callback, engine=self)
-        heapq.heappush(self._heap, handle)
-        self._live += 1
-        return handle
+        entry = [time, next(self._seq), callback]
+        _heappush(self._heap, entry)
+        return entry
 
     # ------------------------------------------------------------------
-    def _pop_live(self) -> Optional[EventHandle]:
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if not handle.cancelled:
-                self._live -= 1
-                handle._engine = None  # fired: no longer live
-                return handle
-        return None
+    def cancel(self, handle: EventHandle) -> None:
+        """Prevent a scheduled callback from firing, in O(1).
+
+        Safe to call twice and safe on handles that already fired: both
+        are no-ops (the callback slot is already cleared).
+        """
+        if handle[2] is not None:
+            handle[2] = None
+            self._note_cancelled()
+
+    def _note_cancelled(self) -> None:
+        """Account for a cancellation; compact once dead entries win."""
+        dead = self._dead + 1
+        self._dead = dead
+        if dead >= self.COMPACT_MIN_DEAD and dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place (``heap[:] =``) so aliases held by a dispatch loop in
+        progress keep observing the same list object.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[2] is not None]
+        heapq.heapify(heap)
+        self._dead = 0
+        self.compactions += 1
+        if self._metrics is not None:
+            self._metrics.counter("des.heap_compactions").inc()
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None when the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            _heappop(heap)
+            self._dead -= 1
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Execute the next event. Returns False when nothing is pending."""
-        handle = self._pop_live()
-        if handle is None:
-            return False
-        self._now = handle.time
-        if self._faults is not None:
-            self._faults.on_advance(self._now)
-        if self._sampler is not None:
-            self._sampler(self._now)
-        callback = handle.callback
-        handle.callback = None
-        self.events_executed += 1
-        if self._tracer is not None:
-            # Callbacks are instantaneous in virtual time: a zero-width
-            # complete span keeps dispatches visible under des.run.
-            self._tracer.complete(
-                "des.dispatch", 0.0, cat="des", tid=0, seq=handle.seq
-            )
-        callback()
-        return True
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            callback = entry[2]
+            if callback is None:
+                self._dead -= 1
+                continue
+            entry[2] = None  # fired: the handle is no longer live
+            self._now = entry[0]
+            if self._faults is not None:
+                self._faults.on_advance(self._now)
+            if self._sampler is not None:
+                self._sampler(self._now)
+            self.events_executed += 1
+            if self._tracer is not None:
+                # Callbacks are instantaneous in virtual time: a zero-width
+                # complete span keeps dispatches visible under des.run.
+                self._tracer.complete(
+                    "des.dispatch", 0.0, cat="des", tid=0, seq=entry[1]
+                )
+            callback()
+            return True
+        return False
 
     def run(self, max_events: int | None = None) -> None:
-        """Run until the event heap drains (or ``max_events`` fire)."""
+        """Run until the event heap drains (or ``max_events`` fire).
+
+        The unbounded form dispatches through a loop specialized at
+        entry for the hooks actually installed; the bounded form uses
+        the general :meth:`step`. Both orders are bit-identical.
+        """
         if self._running:
             raise SimulationError("engine is not re-entrant")
         self._running = True
@@ -216,11 +310,20 @@ class Engine:
             else None
         )
         try:
-            fired = 0
-            while self.step():
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    return
+            if max_events is None:
+                _RUN_LOOPS[
+                    (
+                        self._tracer is not None,
+                        self._sampler is not None,
+                        self._faults is not None,
+                    )
+                ](self)
+            else:
+                fired = 0
+                while self.step():
+                    fired += 1
+                    if fired >= max_events:
+                        return
         finally:
             self._running = False
             if run_span is not None:
@@ -247,12 +350,12 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of live events still queued (O(1))."""
-        return self._live
+        return len(self._heap) - self._dead
 
     def _pending_scan(self) -> int:
         """O(n) heap scan of live events — the reference the O(1)
         counter is asserted against in the engine's test suite."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        return sum(1 for entry in self._heap if entry[2] is not None)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Engine now={self._now:.6f} pending={self.pending}>"

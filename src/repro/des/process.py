@@ -76,6 +76,25 @@ class SimEvent:
             # and never re-enter the caller's stack.
             self._engine.schedule(0.0, lambda r=resume: r(value))
 
+    def _succeed_inline(self, value: Any = None) -> None:
+        """Succeed and resume waiters synchronously, in join order.
+
+        Used by the coalesced collective release
+        (:meth:`repro.mpi.comm._CollectiveRound.release`): one heap
+        event wakes every member instead of scheduling one zero-delay
+        event per waiter. Join order is exactly the order the per-event
+        scheme resumed waiters in, so trajectories are unchanged; only
+        the event count drops. Waiters run on the caller's stack — only
+        use this from an engine callback.
+        """
+        if self._done:
+            raise SimulationError(f"event {self.name!r} succeeded twice")
+        self._done = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            resume(value)
+
     def _add_waiter(self, resume: Callable[[Any], None]) -> None:
         if self._done:
             self._engine.schedule(0.0, lambda: resume(self._value))

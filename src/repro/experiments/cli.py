@@ -624,6 +624,15 @@ def _main(argv: list[str] | None = None) -> int:
         "(default: 20 s; only with --chaos-seed)",
     )
     run_p.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="profile the in-process run with cProfile and dump pstats "
+        "data to PATH (top hotspots go to stderr; pool workers under "
+        "--jobs N are not captured)",
+    )
+    run_p.add_argument(
         "--no-shared-replica",
         action="store_true",
         help="disable the shared-replica fast path: every in-situ rank "
@@ -1049,18 +1058,40 @@ def _main(argv: list[str] | None = None) -> int:
         journal.campaign(cid, **meta)
         # shipped worker telemetry carries the campaign identity
         engine.obs.campaign_id = cid
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
         with scopes:
             with use_engine(engine):
-                for name in names:
-                    print(_run_one(name, overrides, args.output))
-                    print()
+                if profiler is not None:
+                    profiler.enable()
+                try:
+                    for name in names:
+                        print(_run_one(name, overrides, args.output))
+                        print()
+                finally:
+                    if profiler is not None:
+                        profiler.disable()
         journal.summary(jobs=args.jobs, experiments=names)
     finally:
         if audit_journal is not None:
             audit_journal.close()
         engine.close()
         journal.close()
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.dump_stats(args.profile)
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats(
+            "cumulative"
+        ).print_stats(12)
+        print(buf.getvalue(), file=sys.stderr)
+        print(f"[profile -> {args.profile}]")
     if trace_sink is not None:
         path = trace_sink.write(args.trace)
         print(f"[trace: {len(trace_sink.records)} records -> {path}]")

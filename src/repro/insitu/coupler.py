@@ -153,7 +153,9 @@ class InsituResult:
     observation_log: list
     #: count-verification failures (step 4); always 0 in a correct run
     verification_failures: int = 0
-    #: DES callbacks fired — part of the bit-identity contract
+    #: DES callbacks fired — deterministic for a given engine version
+    #: (coalesced collectives fire fewer events than the per-rank
+    #: scheme for the same virtual trajectory)
     events_executed: int = 0
     #: whether the shared-replica fast path was active
     shared_replica: bool = False

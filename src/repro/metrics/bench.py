@@ -205,30 +205,114 @@ def _collect_insitu_fig2(metrics: dict) -> None:
 
 
 def _collect_substrate(metrics: dict) -> None:
-    """DES micro: event count (gated) and dispatch throughput (info)."""
+    """DES micro: event count (gated) and dispatch throughput.
+
+    Throughput is gated as a *floor* with a wide tolerance: the slotted
+    dispatch loop is worth >2x over the handle-object engine, so even a
+    50% CI-jitter allowance keeps the gate far above the old design.
+    Best-of-3 fresh engines absorbs cold-start noise.
+    """
+    from repro.des.engine import Engine
+
+    n = 50_000
+
+    def one() -> tuple[int, float]:
+        engine = Engine()
+        fired = [0]
+
+        def tick() -> None:
+            fired[0] += 1
+            if fired[0] < n:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.0, tick)
+        t0 = time.perf_counter()
+        engine.run()
+        return engine.events_executed, time.perf_counter() - t0
+
+    one()  # warm the specialized run loop off the clock
+    runs = [one() for _ in range(3)]
+    events = runs[0][0]
+    wall = min(w for _, w in runs)
+    metrics["des.micro.events"] = BenchMetric(
+        value=float(events), unit="events", direction="equal"
+    )
+    metrics["des.micro.events_per_s"] = BenchMetric(
+        value=events / max(wall, 1e-9),
+        unit="events/s",
+        direction="higher",
+        tol_pct=50.0,
+    )
+
+
+def _collect_des_churn(metrics: dict) -> None:
+    """Cancellation-churn micro: a cap-change-storm shaped load that
+    schedules, cancels, and reschedules in waves. The compaction count
+    is deterministic (gated); throughput is informational."""
     from repro.des.engine import Engine
 
     engine = Engine()
-    n = 50_000
-    fired = [0]
+    waves = 200
+    per_wave = 256
+    state = {"wave": 0}
 
-    def tick() -> None:
-        fired[0] += 1
-        if fired[0] < n:
-            engine.schedule(0.001, tick)
+    def storm() -> None:
+        state["wave"] += 1
+        handles = [
+            engine.schedule(1.0 + i * 1e-6, _noop) for i in range(per_wave)
+        ]
+        # The "cap changed, restart the phase" pattern: cancel nearly
+        # everything just scheduled and reschedule a replacement.
+        for h in handles[: per_wave - 1]:
+            engine.cancel(h)
+        if state["wave"] < waves:
+            engine.schedule(1e-3, storm)
 
-    engine.schedule(0.0, tick)
+    engine.schedule(0.0, storm)
     t0 = time.perf_counter()
     engine.run()
     wall = time.perf_counter() - t0
-    metrics["des.micro.events"] = BenchMetric(
-        value=float(engine.events_executed), unit="events", direction="equal"
+    ops = waves * (2 * per_wave - 1)  # schedules + cancels issued
+    metrics["des.churn.compactions"] = BenchMetric(
+        value=float(engine.compactions), unit="count", direction="equal"
     )
-    metrics["des.micro.events_per_s"] = BenchMetric(
-        value=engine.events_executed / max(wall, 1e-9),
-        unit="events/s",
+    metrics["des.churn.ops_per_s"] = BenchMetric(
+        value=ops / max(wall, 1e-9),
+        unit="ops/s",
         direction="higher",
         gate=False,
+    )
+
+
+def _noop() -> None:
+    pass
+
+
+def _collect_fig5_scale(metrics: dict) -> None:
+    """Fig. 5-style managed run at full 1024-node scale: virtual time
+    is deterministic (gated); wall time tracks the vectorized power
+    path (informational)."""
+    from repro.experiments.runner import build_controller
+    from repro.workloads import JobConfig, run_job
+
+    cfg = JobConfig(
+        analyses=("all",), dim=36, n_nodes=1024, n_verlet_steps=60, seed=17
+    )
+    run_job(cfg, build_controller("seesaw", cfg))  # warm numpy/caches
+    walls = []
+    result = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        result = run_job(cfg, build_controller("seesaw", cfg))
+        walls.append(time.perf_counter() - t0)
+    metrics["fig5.scale1024.virtual_time_s"] = BenchMetric(
+        value=result.total_time_s,
+        unit="s",
+        direction="equal",
+        tol_pct=0.01,
+    )
+    metrics["fig5.scale1024.wall_s"] = BenchMetric(
+        value=min(walls), unit="s", direction="lower", gate=False
     )
 
 
@@ -321,6 +405,8 @@ _COLLECTORS = (
     _collect_insitu,
     _collect_insitu_fig2,
     _collect_substrate,
+    _collect_des_churn,
+    _collect_fig5_scale,
     _collect_metrics_overhead,
     _collect_campaign_scaleout,
 )

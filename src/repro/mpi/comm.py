@@ -23,6 +23,7 @@ containers; logical tests with ``ZeroCost`` never look at it.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -119,10 +120,34 @@ class _PendingRecv:
         )
 
 
-class _CollectiveRound:
-    """State for one in-flight collective on a communicator."""
+def _coalesce_default() -> bool:
+    """Coalesced collective release is on unless SEESAW_MPI_COALESCE=0.
 
-    __slots__ = ("op", "expected", "contributions", "event", "finalize")
+    The opt-out keeps the historical one-wakeup-event-per-rank scheme
+    available as the reference the equivalence tests compare against.
+    """
+    return os.environ.get("SEESAW_MPI_COALESCE", "1") != "0"
+
+
+class _CollectiveRound:
+    """State for one in-flight collective on a communicator.
+
+    Arrival times are kept in a preallocated vector (``arrivals[rank]``
+    is NaN until that rank joins), so the round never grows per-rank
+    Python containers beyond the contribution dict it already needs.
+    ``members`` records ``(rank, per_rank_event, deliver)`` in join
+    order for the coalesced release.
+    """
+
+    __slots__ = (
+        "op",
+        "expected",
+        "contributions",
+        "event",
+        "finalize",
+        "arrivals",
+        "members",
+    )
 
     def __init__(
         self,
@@ -136,6 +161,28 @@ class _CollectiveRound:
         self.contributions: dict[int, Any] = {}
         self.event = event
         self.finalize = finalize
+        self.arrivals = np.full(expected, np.nan)
+        self.members: list[tuple[int, SimEvent, Callable[[int, Any], Any]]] = []
+
+    @property
+    def last_arrival(self) -> float:
+        """Latest join time over the vectorized arrival record."""
+        return float(np.nanmax(self.arrivals))
+
+    def release(self, result: Any) -> None:
+        """Wake every member from one engine event, in join order.
+
+        This replaces the O(N) per-rank wakeup storm: the shared event
+        succeeds inline, then each per-rank wrapper (ops with a
+        ``deliver``) succeeds inline with its delivered slice. Join
+        order equals the order the per-rank zero-delay events fired in
+        the old scheme, so the trajectory is bit-identical while the
+        heap sees exactly one release event (ordering proof in
+        DESIGN.md §15).
+        """
+        self.event._succeed_inline(result)
+        for rank, per_rank_event, deliver in self.members:
+            per_rank_event._succeed_inline(deliver(rank, result))
 
 
 class Communicator:
@@ -153,11 +200,15 @@ class Communicator:
         world_ranks: Sequence[int],
         cost: CommCostModel,
         name: str = "comm",
+        coalesce: bool | None = None,
     ) -> None:
         self.engine = engine
         self.world_ranks = tuple(world_ranks)
         self.cost = cost
         self.name = name
+        #: one coalesced release event per collective vs the legacy
+        #: per-rank wakeup storm; sub-communicators inherit the choice
+        self._coalesce = _coalesce_default() if coalesce is None else coalesce
         self.id = Communicator._next_id
         Communicator._next_id += 1
         self._mailboxes: dict[int, list[_Message]] = {
@@ -420,6 +471,7 @@ class Communicator:
                     ranks,
                     self.cost,
                     name=f"{self.name}.split({c})",
+                    coalesce=self._coalesce,
                 )
             return comms
 
@@ -459,13 +511,17 @@ class Communicator:
                 f"rank {rank} joined collective {op!r} twice on {self.name}"
             )
         round_.contributions[rank] = value
+        round_.arrivals[rank] = self.engine.now
 
         if deliver is not None:
             # Wrap the shared event in a per-rank event applying deliver.
             per_rank = SimEvent(self.engine, name=f"{self.name}.{op}.r{rank}")
-            round_.event._add_waiter(
-                lambda result, r=rank: per_rank.succeed(deliver(r, result))
-            )
+            if self._coalesce:
+                round_.members.append((rank, per_rank, deliver))
+            else:
+                round_.event._add_waiter(
+                    lambda result, r=rank: per_rank.succeed(deliver(r, result))
+                )
             out_event = per_rank
         else:
             out_event = round_.event
@@ -481,7 +537,12 @@ class Communicator:
                 cost += self._faults.comm_delay(self.engine.now)
             del self._rounds[op]
             result = round_.finalize(round_.contributions)
-            self.engine.schedule(cost, lambda: round_.event.succeed(result))
+            if self._coalesce:
+                # One release event wakes every member in join order —
+                # same (time, seq) member order as the per-rank scheme.
+                self.engine.schedule(cost, lambda: round_.release(result))
+            else:
+                self.engine.schedule(cost, lambda: round_.event.succeed(result))
         return out_event
 
     def _check_rank(self, rank: int) -> None:

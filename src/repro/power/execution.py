@@ -22,10 +22,41 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.node import NodeSpec
-from repro.power.model import PhaseKind, operating_point
+from repro.power.model import OperatingPoint, PhaseKind, operating_point
 from repro.power.rapl import RaplDomainArray
 
 __all__ = ["DrawSegment", "PhaseOutcome", "execute_phase", "wait_energy"]
+
+
+def _operating_point_cached(
+    domain: RaplDomainArray, kind: PhaseKind, node: NodeSpec, caps: np.ndarray
+):
+    """Operating point for ``kind`` under the domain's *current* caps.
+
+    Caps are piecewise-constant, so the resolved point is valid for the
+    whole cap segment: it is parked in :attr:`RaplDomainArray.op_cache`,
+    which the domain clears whenever the installed caps change. The
+    cached arrays are shared — callers must treat them as read-only.
+    """
+    cache = domain.op_cache
+    key = (kind, id(node))
+    op = cache.get(key)
+    if op is None:
+        if caps.size > 1 and (caps == caps[0]).all():
+            # Uniform caps (the common controller output): resolve the
+            # model on one element and broadcast. Ufuncs are elementwise,
+            # so the broadcast view is bit-identical to the full-width
+            # computation at 1/n the cost.
+            one = operating_point(kind, node, caps[:1])
+            shape = caps.shape
+            op = OperatingPoint(
+                speed=np.broadcast_to(one.speed, shape),
+                draw_watts=np.broadcast_to(one.draw_watts, shape),
+            )
+        else:
+            op = operating_point(kind, node, caps)
+        cache[key] = op
+    return op
 
 
 @dataclass(frozen=True)
@@ -85,26 +116,46 @@ def execute_phase(
         raise ValueError("negative work")
     n = domain.n_nodes
     noise = np.broadcast_to(np.asarray(noise_factors, dtype=float), (n,))
-    remaining = work_seconds * noise.copy()  # per-node work still to do
-    remaining = np.array(remaining, dtype=float)
+    remaining = work_seconds * noise  # per-node work still to do (owned)
     durations = np.zeros(n)
     energy = np.zeros(n)
     segments: list[DrawSegment] = []
 
     t = t_start
     active = remaining > 0.0
+
+    # Fast path: no cap change lands before the slowest node finishes,
+    # so the whole phase resolves in one closed-form pass. The float
+    # expressions mirror the general loop's first iteration exactly
+    # (same np.where forms, same operand order) to stay bit-identical.
+    if not collect_segments and active.any():
+        caps, t_change = domain.segment_at(t)
+        op = _operating_point_cached(domain, kind, node, caps)
+        speed = np.maximum(op.speed, 1e-12)
+        finish_at = np.where(active, t + remaining / speed, t)
+        # max over all == max over active: inactive entries hold t and
+        # every active completion is >= t
+        if float(finish_at.max()) <= t_change:
+            active_time = np.where(active, finish_at - t, 0.0)
+            durations = np.where(active, finish_at - t_start, durations)
+            energy += active_time * op.draw_watts
+            return PhaseOutcome(
+                durations=durations, energy_joules=energy, segments=segments
+            )
+
     guard = 0
-    while np.any(active):
+    while active.any():
         guard += 1
         if guard > 10_000:
             raise RuntimeError("phase executor failed to converge")
         caps, t_change = domain.segment_at(t)
-        op = operating_point(kind, node, caps)
+        op = _operating_point_cached(domain, kind, node, caps)
         speed = np.maximum(op.speed, 1e-12)
         finish_at = np.where(active, t + remaining / speed, t)
         # The segment ends at the earliest of: next cap change, or the
-        # last active node's completion within this cap regime.
-        seg_end = min(t_change, float(finish_at[active].max()))
+        # last active node's completion within this cap regime (max over
+        # all entries — inactive ones hold t, never above an active one).
+        seg_end = min(t_change, float(finish_at.max()))
         if seg_end <= t:
             # Cap change exactly at t (or zero work): apply and retry.
             if t_change <= t:

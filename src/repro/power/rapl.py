@@ -96,6 +96,18 @@ class RaplDomainArray:
             )
         self._caps = caps
         self._pending: Optional[tuple[float, np.ndarray]] = None
+        #: monotone counter bumped whenever the installed caps change;
+        #: anything derived from the effective caps (the phase
+        #: executor's operating points) is valid for exactly one version
+        self.caps_version = 0
+        #: memo for cap-derived values, cleared on every caps change —
+        #: the phase executor parks resolved operating points here so a
+        #: piecewise-constant cap schedule costs one model inversion per
+        #: (phase kind, cap segment) instead of one per query
+        self.op_cache: dict = {}
+        #: cached effective caps (undershoot applied), read-only so the
+        #: shared array cannot be corrupted by callers
+        self._effective = self._make_effective(caps)
         #: diagnostic: number of accepted cap requests
         self.requests = 0
         # cached: segment_at/_apply_pending sit inside the phase
@@ -110,6 +122,11 @@ class RaplDomainArray:
     # ------------------------------------------------------------------
     def _clamp(self, caps: np.ndarray) -> np.ndarray:
         return np.clip(caps, self.node.rapl_min_watts, self.node.tdp_watts)
+
+    def _make_effective(self, caps: np.ndarray) -> np.ndarray:
+        effective = caps * self.mode.undershoot
+        effective.flags.writeable = False
+        return effective
 
     def request_caps(
         self, caps_watts, now: float, fault_rank: int | None = None
@@ -185,8 +202,17 @@ class RaplDomainArray:
     def _apply_pending(self, t: float) -> None:
         if self._pending is not None and t >= self._pending[0]:
             t_act, caps = self._pending
+            unchanged = np.array_equal(caps, self._caps)
             self._caps = caps
             self._pending = None
+            if not unchanged:
+                # Re-requesting the caps already installed (steady-state
+                # controllers do this every step) is a no-op for the
+                # physics: keep the operating-point cache and effective
+                # array alive instead of rebuilding them.
+                self.caps_version += 1
+                self.op_cache.clear()
+                self._effective = self._make_effective(caps)
             if self._tracer is not None:
                 # stamped at the actuation time, not the query time, so
                 # the trace shows when RAPL actually switched registers
@@ -207,14 +233,16 @@ class RaplDomainArray:
 
         Returns ``(effective_caps, t_next_change)`` where
         ``t_next_change`` is ``inf`` if no change is pending. The
-        effective caps include the short-window undershoot.
+        effective caps include the short-window undershoot and are a
+        shared read-only array, recomputed only when the installed caps
+        actually change (see :attr:`caps_version`).
         """
         self._apply_pending(t)
         if self._pending is not None:
             nxt = self._pending[0]
         else:
             nxt = np.inf
-        return self._caps * self.mode.undershoot, nxt
+        return self._effective, nxt
 
     @property
     def requested_caps(self) -> np.ndarray:

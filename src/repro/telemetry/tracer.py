@@ -169,6 +169,19 @@ class Tracer:
             }
         )
 
+    def emit_many(self, records) -> None:
+        """Emit pre-built records in one batched pass.
+
+        Hot emitters (the proxy session's per-rank phase spans) compute
+        their fields vectorized and hand the finished Chrome records
+        straight to the sink, skipping per-record keyword plumbing. Each
+        record must be fully formed — ``ph``/``name``/``ts``/``pid``/
+        ``tid`` — exactly as the per-record helpers would build it.
+        """
+        emit = self.sink.emit
+        for record in records:
+            emit(record)
+
     # ----------------------------------------------------------- spans
     def begin(
         self,
@@ -360,6 +373,9 @@ class NullTracer(Tracer):
         pass
 
     def _emit_counter(self, name, cat, value) -> None:
+        pass
+
+    def emit_many(self, records) -> None:
         pass
 
     def begin(self, name, cat="", tid=0, ts=None, **args) -> SpanHandle:

@@ -56,7 +56,7 @@ def test_cancelled_event_does_not_fire():
     eng = Engine()
     fired = []
     handle = eng.schedule(1.0, lambda: fired.append("x"))
-    handle.cancel()
+    eng.cancel(handle)
     eng.run()
     assert fired == []
     assert eng.now == 0.0  # cancelled events do not advance time
@@ -65,8 +65,8 @@ def test_cancelled_event_does_not_fire():
 def test_cancel_is_idempotent():
     eng = Engine()
     handle = eng.schedule(1.0, lambda: None)
-    handle.cancel()
-    handle.cancel()
+    eng.cancel(handle)
+    eng.cancel(handle)
     eng.run()
 
 
@@ -112,7 +112,7 @@ def test_peek_skips_cancelled():
     eng = Engine()
     h = eng.schedule(1.0, lambda: None)
     eng.schedule(2.0, lambda: None)
-    h.cancel()
+    eng.cancel(h)
     assert eng.peek() == 2.0
 
 
@@ -126,7 +126,7 @@ def test_pending_counts_live_events():
     h1 = eng.schedule(1.0, lambda: None)
     eng.schedule(2.0, lambda: None)
     assert eng.pending == 2
-    h1.cancel()
+    eng.cancel(h1)
     assert eng.pending == 1
 
 
@@ -141,11 +141,11 @@ def test_pending_counter_matches_heap_scan():
     handles.append(eng.schedule_at(10.0, lambda: None))
     assert eng.pending == eng._pending_scan() == 7
 
-    handles[1].cancel()
-    handles[4].cancel()
+    eng.cancel(handles[1])
+    eng.cancel(handles[4])
     assert eng.pending == eng._pending_scan() == 5
 
-    handles[1].cancel()  # double-cancel must not decrement twice
+    eng.cancel(handles[1])  # double-cancel must not decrement twice
     assert eng.pending == eng._pending_scan() == 5
 
     while eng.step():
@@ -162,7 +162,7 @@ def test_pending_counter_with_reschedules_during_run():
 
     def reschedule():
         h = eng.schedule(1.0, lambda: None)
-        h.cancel()
+        eng.cancel(h)
         eng.schedule(0.5, lambda: scans.append(eng.pending == eng._pending_scan()))
 
     eng.schedule(1.0, reschedule)
@@ -176,7 +176,7 @@ def test_cancel_after_fire_does_not_corrupt_counter():
     h = eng.schedule(1.0, lambda: None)
     eng.schedule(2.0, lambda: None)
     eng.step()  # fires h
-    h.cancel()  # late cancel of an already-fired handle
+    eng.cancel(h)  # late cancel of an already-fired handle
     assert eng.pending == eng._pending_scan() == 1
 
 
@@ -215,3 +215,172 @@ def test_engine_not_reentrant():
 def test_step_returns_false_when_empty():
     eng = Engine()
     assert eng.step() is False
+
+
+# ---------------------------------------------------------------------------
+# non-finite scheduling
+
+
+@pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_delay_rejected(delay):
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule(delay, lambda: None)
+    assert eng.pending == 0  # nothing leaked into the heap
+
+
+@pytest.mark.parametrize("time", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_schedule_at_rejected(time):
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule_at(time, lambda: None)
+    assert eng.pending == 0
+
+
+# ---------------------------------------------------------------------------
+# cancellation compaction
+
+
+def test_compaction_triggers_past_threshold():
+    eng = Engine()
+    eng.COMPACT_MIN_DEAD = 4  # instance override shrinks the floor
+    handles = [eng.schedule(float(i + 1), lambda: None) for i in range(8)]
+    for h in handles[:4]:
+        eng.cancel(h)
+    # dead=4 >= floor but 4*2 == len(heap): majority rule not met yet
+    assert eng.compactions == 0
+    eng.cancel(handles[4])
+    # dead=5, 10 > 8: compacted — dead entries dropped, counter reset
+    assert eng.compactions == 1
+    assert eng._dead == 0
+    assert len(eng._heap) == 3
+    assert eng.pending == eng._pending_scan() == 3
+
+
+def test_compaction_below_floor_stays_lazy():
+    eng = Engine()
+    handles = [eng.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for h in handles:
+        eng.cancel(h)
+    # 10 dead is under COMPACT_MIN_DEAD=64: pure lazy deletion
+    assert eng.compactions == 0
+    assert eng.pending == 0
+    eng.run()
+    assert eng.events_executed == 0
+
+
+def test_compaction_preserves_firing_order():
+    eng = Engine()
+    eng.COMPACT_MIN_DEAD = 2
+    fired = []
+    keep = []
+    for i in range(20):
+        h = eng.schedule(float(i + 1), lambda i=i: fired.append(i))
+        if i % 3 == 0:
+            keep.append(i)
+        else:
+            eng.cancel(h)
+    assert eng.compactions >= 1
+    assert eng.pending == eng._pending_scan() == len(keep)
+    eng.run()
+    assert fired == keep
+
+
+def test_compaction_during_run_keeps_loop_alive():
+    """Cancelling from inside a callback may compact the heap while the
+    dispatch loop holds an alias to it; the survivors must still fire."""
+    eng = Engine()
+    eng.COMPACT_MIN_DEAD = 2
+    fired = []
+    victims = [eng.schedule(5.0 + i, lambda: fired.append("victim")) for i in range(8)]
+    eng.schedule(2.0, lambda: fired.append("survivor"))
+
+    def purge():
+        for h in victims:
+            eng.cancel(h)
+
+    eng.schedule(1.0, purge)
+    eng.run()
+    assert eng.compactions >= 1
+    assert fired == ["survivor"]
+    assert eng.pending == eng._pending_scan() == 0
+
+
+# ---------------------------------------------------------------------------
+# dispatch-loop variants
+
+
+def _churn_workload(eng, trace):
+    """Schedule/cancel/reschedule pattern exercising dead-entry skips."""
+
+    def tick(i):
+        trace.append((i, eng.now))
+        if i < 30:
+            h = eng.schedule(0.5, lambda: trace.append(("dead", eng.now)))
+            eng.cancel(h)
+            eng.schedule(0.25, lambda: tick(i + 1))
+
+    eng.schedule(0.0, lambda: tick(0))
+
+
+def test_run_and_step_produce_identical_trajectories():
+    ran, stepped = [], []
+    eng1 = Engine()
+    _churn_workload(eng1, ran)
+    eng1.run()
+    eng2 = Engine()
+    _churn_workload(eng2, stepped)
+    while eng2.step():
+        pass
+    assert ran == stepped
+    assert eng1.now == eng2.now
+    assert eng1.events_executed == eng2.events_executed
+
+
+def test_sampler_variant_matches_bare_trajectory():
+    bare, sampled = [], []
+    eng1 = Engine()
+    _churn_workload(eng1, bare)
+    eng1.run()
+
+    eng2 = Engine()
+    advances = []
+    eng2.attach_sampler(advances.append)
+    _churn_workload(eng2, sampled)
+    eng2.run()
+    assert sampled == bare
+    # the sampler saw every clock advance, in order
+    assert advances == [t for _, t in sampled]
+
+
+def test_tracer_variant_matches_bare_trajectory():
+    from repro.telemetry import MemorySink, Tracer, use_tracer
+
+    bare, traced = [], []
+    eng1 = Engine()
+    _churn_workload(eng1, bare)
+    eng1.run()
+
+    sink = MemorySink()
+    with use_tracer(Tracer(sink)):
+        eng2 = Engine()
+        _churn_workload(eng2, traced)
+        eng2.run()
+    assert traced == bare
+    dispatches = [r for r in sink.records if r.get("name") == "des.dispatch"]
+    assert len(dispatches) == eng2.events_executed
+
+
+def test_attach_sampler_during_run_rejected():
+    eng = Engine()
+    errors = []
+
+    def attach():
+        try:
+            eng.attach_sampler(lambda t: None)
+        except SimulationError as e:
+            errors.append(e)
+
+    eng.schedule(1.0, attach)
+    eng.run()
+    assert len(errors) == 1

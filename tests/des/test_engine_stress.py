@@ -25,7 +25,7 @@ def test_mass_cancellation_is_clean():
         for i in range(2000)
     ]
     for h in handles[::2]:
-        h.cancel()
+        eng.cancel(h)
     eng.run()
     assert fired == list(range(1, 2000, 2))
 

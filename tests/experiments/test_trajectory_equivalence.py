@@ -1,0 +1,108 @@
+"""Pinned trajectory fingerprints: the DES/power fast paths must be
+bit-identical to the pre-optimization engine.
+
+The hex digests below were captured from the unoptimized code (handle
+-object heap, per-rank collective wakeups, uncached operating points)
+on the same seeds. Every optimization since — slotted dispatch,
+cancellation compaction, coalesced collectives, operating-point
+caching, the single-segment executor fast path — is required to leave
+these trajectories byte-for-byte unchanged. A digest change here means
+the physics moved, not just the speed: refresh only with a deliberate,
+documented behavior change.
+"""
+
+import hashlib
+
+from repro.cluster.node import THETA_NODE
+from repro.core import SeeSAwController, StaticController
+from repro.experiments.runner import build_controller
+from repro.insitu.coupler import InsituConfig, run_insitu
+from repro.workloads import JobConfig, run_job
+
+
+def _digest(values) -> str:
+    """SHA-256 over exact float bit patterns (float.hex) and ints."""
+    h = hashlib.sha256()
+    for v in values:
+        if isinstance(v, float):
+            h.update(v.hex().encode())
+        elif isinstance(v, bytes):
+            h.update(v)
+        else:
+            h.update(repr(v).encode())
+        h.update(b"|")
+    return h.hexdigest()[:16]
+
+
+def job_fingerprint(result) -> str:
+    values = [result.total_time_s, result.controller_name, len(result.records)]
+    for r in result.records:
+        values += [
+            r.step, r.t_start, r.interval_s, r.sim_work_s, r.ana_work_s,
+            r.overhead_s, r.sync_s, r.slack_norm, r.sim_cap_mean_w,
+            r.ana_cap_mean_w, r.sim_power_mean_w, r.ana_power_mean_w,
+            r.sim_energy_j, r.ana_energy_j,
+        ]
+    return _digest(values)
+
+
+def insitu_fingerprint(result) -> str:
+    values = [result.virtual_time_s, result.verification_failures]
+    for step, alloc in result.allocation_log:
+        values += [step, alloc.sim_caps_w.tobytes(), alloc.ana_caps_w.tobytes()]
+    values += [repr(obs) for obs in result.observation_log]
+    return _digest(values)
+
+
+# Captured from the pre-optimization engine (see module docstring).
+EXPECTED_JOB16 = {
+    "static": "a0d6fb7bd9154d9d",
+    "seesaw": "138b2de07a178aff",
+    "power-aware": "366bafffa4b2bc33",
+    "time-aware": "0a49d8975b77e6e4",
+}
+EXPECTED_JOB256_SEESAW = "65a6f9498574dcff"
+EXPECTED_INSITU = {
+    "seesaw": "8222761c1569878c",
+    "static": "8cfe6d3433c4a19e",
+}
+
+
+def _job16_cfg() -> JobConfig:
+    return JobConfig(
+        analyses=("full_msd", "vacf"),
+        dim=16,
+        n_nodes=16,
+        n_verlet_steps=30,
+        seed=11,
+    )
+
+
+def test_proxy_job_trajectories_pinned():
+    for name, expected in EXPECTED_JOB16.items():
+        cfg = _job16_cfg()
+        result = run_job(cfg, build_controller(name, cfg))
+        assert job_fingerprint(result) == expected, name
+
+
+def test_proxy_job_256_node_trajectory_pinned():
+    cfg = JobConfig(
+        analyses=("all",), dim=36, n_nodes=256, n_verlet_steps=20, seed=17
+    )
+    result = run_job(cfg, build_controller("seesaw", cfg))
+    assert job_fingerprint(result) == EXPECTED_JOB256_SEESAW
+
+
+def test_insitu_trajectories_pinned():
+    for name, cls in (("seesaw", SeeSAwController), ("static", StaticController)):
+        cfg = InsituConfig(
+            n_sim_ranks=2, n_ana_ranks=2, dim=1, n_verlet_steps=6, j=1
+        )
+        controller = cls(
+            cfg.power_cap_w * cfg.world_size,
+            cfg.n_sim_ranks,
+            cfg.n_ana_ranks,
+            THETA_NODE,
+        )
+        result = run_insitu(cfg, controller)
+        assert insitu_fingerprint(result) == EXPECTED_INSITU[name], name

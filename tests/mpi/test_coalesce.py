@@ -1,0 +1,140 @@
+"""Coalesced collective release: ordering and trajectory equivalence.
+
+The coalesced path (default) wakes every member of a finished
+collective from ONE heap event, resuming waiters inline in join order.
+The legacy path (``SEESAW_MPI_COALESCE=0`` or ``coalesce=False``)
+schedules one zero-delay wakeup event per rank. Both must produce
+identical virtual trajectories — only the executed-event count drops.
+"""
+
+import pytest
+
+from repro.des import Delay, Engine, SimulationError
+from repro.mpi import LogPCost, MpiWorld
+
+
+def _run(size, main, cost=None, coalesce=None):
+    eng = Engine()
+    world = MpiWorld(eng, size, cost=cost)
+    if coalesce is not None:
+        world.comm._coalesce = coalesce
+    results = world.run(main)
+    return eng, results
+
+
+# ------------------------------------------------------------- wake order
+@pytest.mark.parametrize("coalesce", [True, False])
+def test_release_order_is_join_order(coalesce):
+    """Members wake in the order they joined the round, regardless of
+    rank id — exactly the order the per-rank zero-delay events fired."""
+    woken = []
+
+    def main(rank, comm):
+        # Reverse-staggered arrivals: rank 3 joins first, rank 0 last.
+        yield Delay(float(comm.size - 1 - rank))
+        yield comm.barrier(rank)
+        woken.append(rank)
+
+    _run(4, main, coalesce=coalesce)
+    assert woken == [3, 2, 1, 0]
+
+
+@pytest.mark.parametrize("coalesce", [True, False])
+def test_deliver_op_release_order_is_join_order(coalesce):
+    """Scatter wraps the shared event per rank (deliver op); the
+    per-rank values and wake order must survive coalescing."""
+    woken = []
+
+    def main(rank, comm):
+        yield Delay(float(rank % 2))  # ranks 0,2 join first, then 1,3
+        values = [10, 11, 12, 13] if rank == 0 else None
+        got = yield comm.scatter(rank, values, root=0)
+        woken.append((rank, got))
+
+    _run(4, main, coalesce=coalesce)
+    assert woken == [(0, 10), (2, 12), (1, 11), (3, 13)]
+
+
+def test_env_var_disables_coalescing(monkeypatch):
+    monkeypatch.setenv("SEESAW_MPI_COALESCE", "0")
+    eng = Engine()
+    world = MpiWorld(eng, 2)
+    assert world.comm._coalesce is False
+    monkeypatch.setenv("SEESAW_MPI_COALESCE", "1")
+    assert MpiWorld(Engine(), 2).comm._coalesce is True
+
+
+# ------------------------------------------------- trajectory equivalence
+class _LinearCost:
+    """Deterministic nonzero cost model local to this test: collective
+    and point-to-point times scale with size and payload so release
+    times land at distinct, representative floats."""
+
+    def point_to_point_time(self, nbytes: int) -> float:
+        return 1e-5 + nbytes * 1e-9
+
+    def collective_time(self, op: str, size: int, nbytes: int) -> float:
+        return (1e-4 + nbytes * 1e-9) * size
+
+
+def _mixed_workload(trace):
+    def main(rank, comm):
+        yield Delay(0.01 * rank)
+        total = yield comm.allreduce(rank, rank + 1)
+        trace.append(("allreduce", rank, comm.engine.now, total))
+        got = yield comm.bcast(rank, "seed" if rank == 2 else None, root=2)
+        trace.append(("bcast", rank, comm.engine.now, got))
+        part = yield comm.scatter(
+            rank, [f"v{i}" for i in range(comm.size)] if rank == 0 else None,
+            root=0,
+        )
+        trace.append(("scatter", rank, comm.engine.now, part))
+        yield comm.barrier(rank)
+        trace.append(("barrier", rank, comm.engine.now, None))
+        return total
+
+    return main
+
+
+@pytest.mark.parametrize("cost", [None, LogPCost(), _LinearCost()])
+def test_legacy_and_coalesced_trajectories_match(cost):
+    t_coal, t_legacy = [], []
+    eng1, r1 = _run(4, _mixed_workload(t_coal), cost=cost, coalesce=True)
+    eng2, r2 = _run(4, _mixed_workload(t_legacy), cost=cost, coalesce=False)
+    assert t_coal == t_legacy
+    assert r1 == r2
+    assert eng1.now == eng2.now
+    # The whole point: fewer heap events for the same trajectory.
+    assert eng1.events_executed < eng2.events_executed
+
+
+def test_coalesced_split_inherits_flag():
+    seen = []
+
+    def main(rank, comm):
+        sub = yield comm.split(rank, color=rank % 2, key=rank)
+        seen.append(sub._coalesce)
+        yield sub.barrier(sub.world_ranks.index(rank))
+        return rank
+
+    eng = Engine()
+    world = MpiWorld(eng, 4)
+    world.comm._coalesce = False
+    world.run(main)
+    assert seen == [False] * 4
+
+
+def test_late_join_after_release_still_errors():
+    """Joining a collective round twice is a structural error in both
+    paths (guard unchanged by the coalesced release)."""
+
+    def main(rank, comm):
+        yield comm.barrier(rank)
+        if rank == 0:
+            ev = comm.barrier(rank)
+            with pytest.raises(SimulationError):
+                comm.barrier(rank)  # double-join the open round
+            comm.barrier(1 - rank)  # let the round finish
+            yield ev
+
+    _run(2, main)
