@@ -34,14 +34,13 @@ __all__ = [
     "optimal_split",
 ]
 
-#: Registry used by the experiment harness and CLI. The last two are
-#: this reproduction's implementations of the paper's §VIII future
-#: work (hierarchical per-node allocation; local-optima probing).
+#: Back-compat view over :mod:`repro.scenario.registry` (the classes
+#: above self-register via ``@register_controller`` at definition
+#: site). The non-paper entries are this reproduction's
+#: implementations of the paper's §VIII future work (hierarchical
+#: per-node allocation; local-optima probing).
+from repro.scenario.registry import list_controllers as _list_controllers
+
 CONTROLLERS = {
-    "static": StaticController,
-    "power-aware": PowerAwareController,
-    "time-aware": TimeAwareController,
-    "seesaw": SeeSAwController,
-    "seesaw-hierarchical": HierarchicalSeeSAwController,
-    "seesaw-exploring": ExploringSeeSAwController,
+    name: info.cls for name, info in _list_controllers().items()
 }

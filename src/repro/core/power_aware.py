@@ -32,6 +32,7 @@ from repro.core.controller import PowerController
 from repro.core.types import Allocation, Observation
 from repro.metrics.audit import get_audit
 from repro.telemetry import get_tracer
+from repro.scenario.registry import register_controller
 
 __all__ = ["PowerAwareController", "redistribute_caps"]
 
@@ -78,6 +79,7 @@ def redistribute_caps(
     return caps, pool, int(len(receivers))
 
 
+@register_controller("power-aware", paper=2)
 class PowerAwareController(PowerController):
     """SLURM-like: move unused headroom to capped nodes."""
 

@@ -1,0 +1,34 @@
+"""The ``audit`` subcommand: replay / diff / timeline of journals."""
+
+from __future__ import annotations
+
+__all__ = ["_cmd_audit"]
+
+
+def _cmd_audit(args) -> int:
+    """Replay / diff / timeline over recorded controller journals."""
+    from repro.metrics.audit import (
+        diff_decisions,
+        load_journal,
+        render_timeline,
+        replay,
+    )
+
+    if args.audit_cmd == "replay":
+        result = replay(load_journal(args.journal))
+        print(result.render())
+        return 0 if result.clean else 1
+    if args.audit_cmd == "diff":
+        divergences = diff_decisions(
+            load_journal(args.a), load_journal(args.b)
+        )
+        if not divergences:
+            print("journals agree on every decision")
+            return 0
+        for d in divergences:
+            print(d)
+        print(f"\n{len(divergences)} divergence(s)")
+        return 1
+    # timeline
+    print(render_timeline(load_journal(args.journal)))
+    return 0

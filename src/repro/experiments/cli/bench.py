@@ -1,0 +1,42 @@
+"""The ``bench`` subcommand: benchmark-regression baselines."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+__all__ = ["_cmd_bench"]
+
+
+def _cmd_bench(args) -> int:
+    """Capture a benchmark baseline or check against the latest one."""
+    from repro.metrics import bench
+
+    if args.bench_cmd == "capture":
+        result = bench.capture(date=args.date)
+        path = bench.save(result, args.out)
+        print(f"[captured {len(result.metrics)} metrics -> {path}]")
+        return 0
+    # check
+    baseline_path = bench.latest_baseline(args.baselines)
+    if baseline_path is None:
+        print(f"no BENCH_*.json baseline under {args.baselines}", file=sys.stderr)
+        return 2
+    baseline = bench.load(baseline_path)
+    current = bench.capture()
+    deltas = bench.compare(baseline, current)
+    print(f"baseline: {baseline_path}")
+    print(bench.render_text(deltas))
+    if args.out is not None:
+        bench.save(current, args.out)
+    if args.summary is not None:
+        summary = Path(args.summary)
+        summary.parent.mkdir(parents=True, exist_ok=True)
+        with summary.open("a") as fh:
+            fh.write(bench.render_markdown(deltas))
+    regressed = [d for d in deltas if d.regressed]
+    if regressed:
+        print(f"\n{len(regressed)} gated metric(s) regressed", file=sys.stderr)
+        return 1
+    print("\nno gated regressions")
+    return 0

@@ -1,0 +1,77 @@
+"""The ``chaos`` subcommand: the controllers × fault-kinds sweep.
+
+The sweep itself is declared as a scenario matrix
+(:func:`repro.faults.chaos.chaos_matrix_spec`); ``--matrix-out`` dumps
+that declaration as a suite file the ``scenario`` subcommand can
+expand and validate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["_cmd_chaos"]
+
+
+def _cmd_chaos(args) -> int:
+    """Sweep the controllers × fault-kinds resilience matrix."""
+    from repro.faults.chaos import (
+        DEFAULT_CONTROLLERS,
+        chaos_matrix_spec,
+        run_chaos_matrix,
+    )
+    from repro.faults.plan import FaultKind
+
+    controllers = (
+        tuple(c.strip() for c in args.controllers.split(",") if c.strip())
+        if args.controllers
+        else DEFAULT_CONTROLLERS
+    )
+    kinds = None
+    if args.kinds:
+        try:
+            kinds = tuple(
+                FaultKind(k.strip())
+                for k in args.kinds.split(",")
+                if k.strip()
+            )
+        except ValueError as exc:
+            print(
+                f"{exc}; choose from "
+                f"{', '.join(k.value for k in FaultKind)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.matrix_out is not None:
+        matrix = chaos_matrix_spec(
+            controllers=controllers,
+            kinds=kinds,
+            seed=args.seed,
+            steps=args.steps,
+            ranks=args.ranks,
+            budget_w=args.budget,
+        )
+        doc = {"suite": "chaos", "matrix": matrix.to_json()}
+        args.matrix_out.parent.mkdir(parents=True, exist_ok=True)
+        args.matrix_out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"[chaos sweep matrix -> {args.matrix_out}]")
+    result = run_chaos_matrix(
+        controllers=controllers,
+        kinds=kinds,
+        seed=args.seed,
+        steps=args.steps,
+        ranks=args.ranks,
+        budget_w=args.budget,
+        events_path=args.events,
+    )
+    print(result.render())
+    if args.events is not None:
+        print(f"[fault events -> {args.events}]")
+    problems = result.failures(args.fail_threshold)
+    if problems:
+        for p in problems:
+            print(f"resilience gate: {p}", file=sys.stderr)
+        return 1
+    print("\nall cells within the resilience gate")
+    return 0

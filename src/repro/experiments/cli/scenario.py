@@ -1,0 +1,171 @@
+"""The ``scenario`` subcommand: list / validate / expand / hash specs.
+
+These verbs operate on the declarative scenario layer
+(:mod:`repro.scenario`): the shipped suite files under ``specs/``, or
+any user spec file. ``hash --check`` is the CI drift gate — it fails
+when a shipped suite's content hash no longer matches the pin in
+``specs/HASHES.json`` (regenerate both with ``tools/gen_specs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["_cmd_scenario"]
+
+
+def _shipped_suite_paths() -> list[Path]:
+    from repro.scenario import specs_dir
+
+    root = specs_dir()
+    if not root.is_dir():
+        return []
+    return sorted(
+        p for p in root.glob("*.json") if p.name != "HASHES.json"
+    )
+
+
+def _resolve(token: str):
+    """A CLI operand is either a spec-file path or a shipped suite name."""
+    from repro.scenario import load_spec_file, spec_path
+
+    path = Path(token)
+    if not path.is_file() and "/" not in token and not token.endswith(".json"):
+        path = spec_path(token)
+    return load_spec_file(path)
+
+
+def _cmd_scenario(args) -> int:
+    from repro.scenario import SpecError
+
+    try:
+        if args.scenario_cmd == "list":
+            return _scenario_list(args)
+        if args.scenario_cmd == "validate":
+            return _scenario_validate(args)
+        if args.scenario_cmd == "expand":
+            return _scenario_expand(args)
+        return _scenario_hash(args)
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _scenario_list(args) -> int:
+    from repro.scenario import load_spec_file
+
+    if args.suite is not None:
+        suite = _resolve(args.suite)
+        for spec in suite:
+            print(spec.name)
+        return 0
+    paths = _shipped_suite_paths()
+    if not paths:
+        print("no shipped spec files found (see SEESAW_SPECS_DIR)", file=sys.stderr)
+        return 2
+    width = max(len(p.stem) for p in paths)
+    for path in paths:
+        suite = load_spec_file(path)
+        shape = "sweep" if suite.matrix is not None else "suite"
+        print(
+            f"{suite.name:<{width}}  {len(suite):>3} scenario(s)  "
+            f"[{shape}]  {path}"
+        )
+    return 0
+
+
+def _scenario_validate(args) -> int:
+    from repro.scenario import load_spec_file, validate_spec
+
+    # HASHES.json is the pin file, not a spec — a `specs/*.json` glob
+    # from CI sweeps it in, so skip it rather than choke on it
+    paths = [
+        p
+        for p in (list(args.files) or _shipped_suite_paths())
+        if Path(p).name != "HASHES.json"
+    ]
+    if not paths:
+        print("nothing to validate: no spec files given or shipped", file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        from repro.scenario import SpecError
+
+        try:
+            suite = load_spec_file(path)
+        except SpecError as exc:
+            print(str(exc), file=sys.stderr)
+            failed = True
+            continue
+        problems = [p for s in suite for p in validate_spec(s)]
+        if problems:
+            failed = True
+            for p in problems:
+                print(f"{path}: {p}", file=sys.stderr)
+        else:
+            print(f"{path}: {len(suite)} scenario(s) OK")
+    if failed:
+        return 1
+    return 0
+
+
+def _scenario_expand(args) -> int:
+    suite = _resolve(args.file)
+    if args.json:
+        print(json.dumps([s.to_json() for s in suite], indent=2))
+    else:
+        for spec in suite:
+            print(spec.name)
+    return 0
+
+
+def _scenario_hash(args) -> int:
+    from repro.scenario import specs_dir, suite_hash
+
+    if args.check:
+        pins_path = specs_dir() / "HASHES.json"
+        if not pins_path.is_file():
+            print(f"no hash pins at {pins_path}", file=sys.stderr)
+            return 2
+        pins = json.loads(pins_path.read_text())
+        names = sorted(args.files) if args.files else sorted(pins)
+        drift = False
+        for name in names:
+            if name not in pins:
+                print(f"{name}: not pinned in {pins_path}", file=sys.stderr)
+                drift = True
+                continue
+            try:
+                actual = suite_hash(_resolve(name))
+            except Exception as exc:
+                print(f"{name}: cannot hash ({exc})", file=sys.stderr)
+                drift = True
+                continue
+            if actual != pins[name]:
+                print(
+                    f"{name}: DRIFT — {actual[:16]}… != pinned "
+                    f"{pins[name][:16]}… (re-pin with tools/gen_specs.py)",
+                    file=sys.stderr,
+                )
+                drift = True
+            else:
+                print(f"{name}: ok")
+        unpinned = sorted(
+            p.stem for p in _shipped_suite_paths() if p.stem not in pins
+        )
+        if not args.files and unpinned:
+            for name in unpinned:
+                print(f"{name}: shipped but not pinned", file=sys.stderr)
+            drift = True
+        return 1 if drift else 0
+
+    tokens = args.files or [p.stem for p in _shipped_suite_paths()]
+    if not tokens:
+        print("nothing to hash: no spec files given or shipped", file=sys.stderr)
+        return 2
+    for token in tokens:
+        suite = _resolve(token)
+        print(f"{suite_hash(suite)}  {suite.name}")
+    return 0

@@ -14,11 +14,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.node import THETA_NODE
-from repro.core import StaticController
 from repro.experiments.report import heading
+from repro.experiments.runner import build_controller
+from repro.scenario import get_workload, load_suite
 from repro.util.term import sparkline
-from repro.workloads import JobConfig, run_job
 
 __all__ = ["Fig1Result", "run_fig1"]
 
@@ -62,18 +61,16 @@ def run_fig1(
     seed: int = 5,
 ) -> Fig1Result:
     """Regenerate the Figure 1 trace (first ~10 synchronizations)."""
-    cfg = JobConfig(
-        analyses=analyses,
+    spec = load_suite("fig1").specs[0].with_job(
+        analyses=tuple(analyses),
         dim=dim,
         n_nodes=n_nodes,
         n_verlet_steps=n_verlet_steps,
         seed=seed,
-        collect_traces=True,
     )
-    controller = StaticController(
-        cfg.budget_w, cfg.n_sim, cfg.n_ana, THETA_NODE
-    )
-    res = run_job(cfg, controller)
+    cfg = spec.job.to_job_config()
+    controller = build_controller(spec.approach, cfg)
+    res = get_workload(spec.workload).fn(cfg, controller)
     period = cfg.machine.sensor_period_s
     from repro.power.trace import sample_trace
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.seesaw import optimal_split
 from repro.experiments.report import format_table, heading
+from repro.scenario import load_suite
 
 __all__ = ["Fig2Result", "run_fig2"]
 
@@ -41,11 +42,21 @@ class Fig2Result:
 
 
 def run_fig2() -> Fig2Result:
-    """Regenerate Figure 2's illustrative 210 W optimal-split example."""
+    """Regenerate Figure 2's illustrative 210 W optimal-split example.
+
+    The worked example's numbers ride in the shipped spec's ``extras``
+    (the scenario layer carries them verbatim; nothing is executed).
+    """
+    ex = load_suite("fig2").specs[0].extras
     blue, red = optimal_split(
-        t_sim=100.0, p_sim=90.0, t_ana=60.0, p_ana=120.0, budget_w=210.0
+        t_sim=ex["t_sim_s"],
+        p_sim=ex["p_sim_w"],
+        t_ana=ex["t_ana_s"],
+        p_ana=ex["p_ana_w"],
+        budget_w=ex["budget_w"],
     )
-    finish = 100.0 * 90.0 / blue  # linear model: T' = T * P / P'
+    # linear model: T' = T * P / P'
+    finish = ex["t_sim_s"] * ex["p_sim_w"] / blue
     return Fig2Result(
         blue_power_w=blue, red_power_w=red, finish_time_s=finish
     )

@@ -16,13 +16,20 @@ positive everywhere (~+4-30 %).
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import median_improvement
-from repro.workloads import JobConfig
+from repro.experiments.runner import scenario_improvement
+from repro.scenario import JobParams, ScenarioSpec, load_suite
 
-__all__ = ["Fig3Result", "FIG3A_CASES", "FIG3B_CASES", "run_fig3a", "run_fig3b"]
+__all__ = [
+    "Fig3Result",
+    "FIG3A_CASES",
+    "FIG3B_CASES",
+    "case_specs",
+    "run_fig3a",
+    "run_fig3b",
+]
 
 #: (label, analyses, dim) on 128 nodes — Figure 3a
 FIG3A_CASES = (
@@ -86,10 +93,11 @@ class Fig3Result:
         )
 
 
-def _run_cases(
-    cases, title: str, n_runs: int, n_verlet_steps: int, base_seed: int
-) -> Fig3Result:
-    result = Fig3Result(title=title)
+def case_specs(suite: str, cases) -> list[ScenarioSpec]:
+    """The paired scenarios a case table expands to (one per managed
+    approach, in :data:`MANAGED` order) — what ``specs/fig3*.json``
+    ships and what :func:`_run_cases` executes."""
+    out = []
     for case in cases:
         if len(case) == 3:
             label, analyses, dim = case
@@ -97,28 +105,70 @@ def _run_cases(
         else:
             label, analyses, dim, nodes = case
         # stable per-case seed (Python's str hash is salted per process)
-        case_id = zlib.crc32(f"{label}/{nodes}".encode()) % 1000
-        cfg = JobConfig(
-            analyses=analyses,
-            dim=dim,
-            n_nodes=nodes,
-            n_verlet_steps=n_verlet_steps,
-            seed=base_seed + case_id,
-        )
+        offset = zlib.crc32(f"{label}/{nodes}".encode()) % 1000
+        slug = f"{analyses[0]}-dim{dim}-n{nodes}"
+        for approach in MANAGED:
+            out.append(
+                ScenarioSpec(
+                    name=f"{suite}/{slug}/{approach}",
+                    approach=approach,
+                    baseline_sim_share=0.5,
+                    repeats=3,
+                    job=JobParams(
+                        analyses=tuple(analyses),
+                        dim=dim,
+                        n_nodes=nodes,
+                        n_verlet_steps=400,
+                        seed=300 + offset,
+                    ),
+                    extras={"label": label, "seed_offset": offset},
+                )
+            )
+    return out
+
+
+def _spec_improvement(
+    spec: ScenarioSpec, n_runs: int, n_verlet_steps: int, base_seed: int
+) -> float:
+    spec = replace(spec, repeats=n_runs).with_job(
+        n_verlet_steps=n_verlet_steps,
+        seed=base_seed + spec.extras["seed_offset"],
+    )
+    return scenario_improvement(spec)
+
+
+def _collect(
+    specs, title: str, n_runs: int, n_verlet_steps: int, base_seed: int
+) -> Fig3Result:
+    result = Fig3Result(title=title)
+    for i in range(0, len(specs), len(MANAGED)):
+        group = specs[i : i + len(MANAGED)]
         imps = {
-            name: median_improvement(name, cfg, n_runs=n_runs)
-            for name in MANAGED
+            s.approach: _spec_improvement(
+                s, n_runs, n_verlet_steps, base_seed
+            )
+            for s in group
         }
-        result.rows.append((label, nodes, imps))
+        result.rows.append(
+            (group[0].extras["label"], group[0].job.n_nodes, imps)
+        )
     return result
+
+
+def _run_cases(
+    cases, title: str, n_runs: int, n_verlet_steps: int, base_seed: int
+) -> Fig3Result:
+    return _collect(
+        case_specs("fig3", cases), title, n_runs, n_verlet_steps, base_seed
+    )
 
 
 def run_fig3a(
     n_runs: int = 3, n_verlet_steps: int = 400, base_seed: int = 300
 ) -> Fig3Result:
-    """Figure 3a: different analyses on 128 nodes."""
-    return _run_cases(
-        FIG3A_CASES,
+    """Figure 3a: different analyses on 128 nodes (specs/fig3a.json)."""
+    return _collect(
+        load_suite("fig3a").specs,
         "Figure 3a: % improvement over static baseline, 128 nodes (w=1, j=1)",
         n_runs,
         n_verlet_steps,
@@ -129,9 +179,9 @@ def run_fig3a(
 def run_fig3b(
     n_runs: int = 3, n_verlet_steps: int = 400, base_seed: int = 300
 ) -> Fig3Result:
-    """Figure 3b: representative workloads at 256-1024 nodes."""
-    return _run_cases(
-        FIG3B_CASES,
+    """Figure 3b: workloads at 256-1024 nodes (specs/fig3b.json)."""
+    return _collect(
+        load_suite("fig3b").specs,
         "Figure 3b: % improvement over static baseline at scale (w=1, j=1)",
         n_runs,
         n_verlet_steps,

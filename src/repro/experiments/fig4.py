@@ -21,8 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import run_managed
-from repro.workloads import JobConfig, JobResult
+from repro.experiments.runner import run_scenario
+from repro.scenario import load_suite
+from repro.workloads import JobResult
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -126,17 +127,18 @@ class Fig4Result:
 def run_fig4(
     n_verlet_steps: int = 400, seed: int = 42
 ) -> Fig4Result:
-    """Regenerate all Figure 4 panels' data."""
-    cfg = JobConfig(
-        analyses=("full_msd",),
-        dim=16,
-        n_nodes=128,
-        n_verlet_steps=n_verlet_steps,
-        seed=seed,
-    )
+    """Regenerate all Figure 4 panels' data (specs/fig4.json)."""
+    suite = load_suite("fig4")
+
+    def series(name: str) -> StepSeries:
+        spec = suite.get(name).with_job(
+            n_verlet_steps=n_verlet_steps, seed=seed
+        )
+        return StepSeries.from_result(run_scenario(spec)[0])
+
     return Fig4Result(
-        seesaw=StepSeries.from_result(run_managed("seesaw", cfg)),
-        time_aware=StepSeries.from_result(run_managed("time-aware", cfg)),
-        power_aware=StepSeries.from_result(run_managed("power-aware", cfg)),
-        baseline=StepSeries.from_result(run_managed("static", cfg)),
+        seesaw=series("seesaw"),
+        time_aware=series("time-aware"),
+        power_aware=series("power-aware"),
+        baseline=series("static"),
     )

@@ -21,8 +21,8 @@ from dataclasses import dataclass
 
 from repro.experiments.fig4 import StepSeries
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import run_managed
-from repro.workloads import JobConfig
+from repro.experiments.runner import run_scenario
+from repro.scenario import load_suite
 
 __all__ = ["Fig5Result", "run_fig5"]
 
@@ -83,25 +83,19 @@ def run_fig5(
     n_verlet_steps: int = 400,
     seed: int = 17,
 ) -> Fig5Result:
-    """Regenerate Figure 5's comparison."""
-    cfg = JobConfig(
-        analyses=("all",),
-        dim=dim,
-        n_nodes=1024,
-        n_verlet_steps=n_verlet_steps,
-        seed=seed,
-    )
-    cfg128 = JobConfig(
-        analyses=("all",),
-        dim=dim,
-        n_nodes=128,
-        n_verlet_steps=n_verlet_steps,
-        seed=seed,
-    )
-    baseline = run_managed("static", cfg)
-    seesaw = run_managed("seesaw", cfg)
-    time_aware = run_managed("time-aware", cfg)
-    seesaw128 = run_managed("seesaw", cfg128)
+    """Regenerate Figure 5's comparison (specs/fig5.json)."""
+    suite = load_suite("fig5")
+
+    def result(name: str):
+        spec = suite.get(name).with_job(
+            dim=dim, n_verlet_steps=n_verlet_steps, seed=seed
+        )
+        return run_scenario(spec)[0]
+
+    baseline = result("static-n1024")
+    seesaw = result("seesaw-n1024")
+    time_aware = result("time-aware-n1024")
+    seesaw128 = result("seesaw-n128")
     return Fig5Result(
         seesaw=StepSeries.from_result(seesaw),
         time_aware=StepSeries.from_result(time_aware),

@@ -10,11 +10,11 @@ opportunity (w=1) is best.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import median_improvement
-from repro.workloads import JobConfig
+from repro.experiments.runner import scenario_improvement
+from repro.scenario import ScenarioMatrix, load_suite
 
 __all__ = ["Fig6Result", "run_fig6"]
 
@@ -58,22 +58,26 @@ def run_fig6(
     n_verlet_steps: int = 400,
     seed: int = 60,
 ) -> Fig6Result:
-    """Regenerate the w x j sensitivity grid."""
+    """Regenerate the w x j sensitivity grid (specs/fig6.json).
+
+    The shipped file declares the sweep as a :class:`ScenarioMatrix`;
+    non-default arguments rebuild the matrix from its base spec.
+    """
+    base = replace(
+        load_suite("fig6").matrix.base, repeats=n_runs
+    ).with_job(n_verlet_steps=n_verlet_steps, seed=seed)
+    matrix = ScenarioMatrix(
+        base=base,
+        axes={
+            "job.j": list(j_values),
+            "controller.window": list(w_values),
+        },
+    )
     result = Fig6Result(grid={}, j_values=j_values, w_values=w_values)
-    for j in j_values:
+    for spec in matrix.expand():
+        j, w = spec.job.j, spec.controller["window"]
         n_syncs = n_verlet_steps // j
-        for w in w_values:
-            if w > max(n_syncs // 2, 1):
-                continue  # window longer than the run: no allocations
-            cfg = JobConfig(
-                analyses=("all",),
-                dim=48,
-                n_nodes=1024,
-                j=j,
-                n_verlet_steps=n_verlet_steps,
-                seed=seed,
-            )
-            result.grid[(j, w)] = median_improvement(
-                "seesaw", cfg, n_runs=n_runs, window=w
-            )
+        if w > max(n_syncs // 2, 1):
+            continue  # window longer than the run: no allocations
+        result.grid[(j, w)] = scenario_improvement(spec)
     return result

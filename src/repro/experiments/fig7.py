@@ -11,11 +11,11 @@ waits on the throttled simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import median_improvement
-from repro.workloads import JobConfig
+from repro.experiments.runner import scenario_improvement
+from repro.scenario import load_suite
 
 __all__ = ["Fig7Result", "run_fig7"]
 
@@ -55,23 +55,19 @@ def run_fig7(
     window: int = 2,
     seed: int = 7,
 ) -> Fig7Result:
-    """Regenerate Figure 7's improvement numbers."""
+    """Regenerate Figure 7's improvement numbers (specs/fig7.json).
+
+    The unbalanced starting shares (and the matching static baseline
+    shares) are declared in the shipped scenarios.
+    """
     result = Fig7Result()
-    for label, sim_w, ana_w in STARTS:
-        share = sim_w / (sim_w + ana_w)
-        cfg = JobConfig(
-            analyses=("all",),
-            dim=36,
-            n_nodes=128,
-            n_verlet_steps=n_verlet_steps,
-            seed=seed,
+    for spec in load_suite("fig7"):
+        spec = (
+            replace(spec, repeats=n_runs)
+            .with_job(n_verlet_steps=n_verlet_steps, seed=seed)
+            .with_controller(window=window)
         )
-        result.improvements[label] = median_improvement(
-            "seesaw",
-            cfg,
-            n_runs=n_runs,
-            window=window,
-            sim_share=share,
-            baseline_sim_share=share,
+        result.improvements[spec.extras["label"]] = scenario_improvement(
+            spec
         )
     return result

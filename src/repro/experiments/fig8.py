@@ -10,11 +10,11 @@ hardware floor (no headroom to move).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import median_improvement
-from repro.workloads import JobConfig
+from repro.experiments.runner import scenario_improvement
+from repro.scenario import ScenarioMatrix, load_suite
 
 __all__ = ["Fig8Result", "run_fig8"]
 
@@ -56,18 +56,16 @@ def run_fig8(
     n_verlet_steps: int = 400,
     seed: int = 88,
 ) -> Fig8Result:
-    """Regenerate the cap sweep."""
+    """Regenerate the cap sweep (the specs/fig8.json matrix)."""
+    base = replace(
+        load_suite("fig8").matrix.base, repeats=n_runs
+    ).with_job(n_verlet_steps=n_verlet_steps, seed=seed)
+    matrix = ScenarioMatrix(
+        base=base, axes={"job.budget_per_node_w": list(caps)}
+    )
     result = Fig8Result()
-    for cap in caps:
-        cfg = JobConfig(
-            analyses=("all_msd",),
-            dim=16,
-            n_nodes=128,
-            n_verlet_steps=n_verlet_steps,
-            budget_per_node_w=cap,
-            seed=seed,
-        )
-        result.improvements[cap] = median_improvement(
-            "seesaw", cfg, n_runs=n_runs
+    for spec in matrix.expand():
+        result.improvements[spec.job.budget_per_node_w] = (
+            scenario_improvement(spec)
         )
     return result

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import run_managed
-from repro.workloads import JobConfig
+from repro.experiments.runner import run_scenario
+from repro.scenario import load_suite
 from repro.workloads.lammps_proxy import _overhead_s
 
 __all__ = ["Fig9Result", "run_fig9"]
@@ -65,17 +65,21 @@ def run_fig9(
     n_verlet_steps: int = 100,
     seed: int = 99,
 ) -> Fig9Result:
-    """Regenerate both overhead panels."""
+    """Regenerate both overhead panels (specs/fig9.json).
+
+    The shipped suite carries the 9a runs (``extras.panel == "9a"``)
+    and the 9b model points (``"9b"``, analytic — nothing executed).
+    """
+    suite = load_suite("fig9")
+    by_panel = {"9a": [], "9b": []}
+    for spec in suite:
+        by_panel[spec.extras["panel"]].append(spec)
     result = Fig9Result()
     for nodes in node_counts:
-        cfg = JobConfig(
-            analyses=("all",),
-            dim=48,
-            n_nodes=nodes,
-            n_verlet_steps=n_verlet_steps,
-            seed=seed,
+        spec = by_panel["9a"][0].with_job(
+            n_nodes=nodes, n_verlet_steps=n_verlet_steps, seed=seed
         )
-        res = run_managed("seesaw", cfg)
+        res = run_scenario(spec)[0]
         overheads = np.array([r.overhead_s for r in res.records])
         intervals = np.array([r.interval_s for r in res.records])
         result.relative[nodes] = (
@@ -87,12 +91,10 @@ def run_fig9(
     # plus the RAPL actuation latency, across caps (the arithmetic is
     # cap-independent; RAPL's reaction dominates, as on Theta).
     for cap in caps:
-        cfg = JobConfig(
-            analyses=("all",),
-            dim=48,
-            n_nodes=128,
-            budget_per_node_w=cap,
-            seed=seed,
+        cfg = (
+            by_panel["9b"][0]
+            .with_job(budget_per_node_w=cap, seed=seed)
+            .job.to_job_config()
         )
         result.absolute[cap] = (
             _overhead_s(cfg) + cfg.machine.rapl_actuation_s

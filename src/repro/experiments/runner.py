@@ -19,13 +19,8 @@ from __future__ import annotations
 
 from repro.campaign import CellSpec, get_engine
 from repro.cluster.node import THETA_NODE, NodeSpec
-from repro.core import (
-    PowerAwareController,
-    PowerController,
-    SeeSAwController,
-    StaticController,
-    TimeAwareController,
-)
+from repro.core import PowerController
+from repro.scenario.registry import get_controller, paper_approaches
 from repro.util.stats import median, percent_improvement
 from repro.workloads import JobConfig, JobResult
 
@@ -35,10 +30,15 @@ __all__ = [
     "median_improvement",
     "paired_improvement",
     "run_managed",
+    "run_scenario",
+    "scenario_improvement",
 ]
 
-#: the paper's three managed approaches plus the baseline
-APPROACHES = ("static", "power-aware", "time-aware", "seesaw")
+#: the paper's three managed approaches plus the baseline — a view
+#: over :func:`repro.scenario.registry.paper_approaches`; extensions
+#: (``seesaw-exploring``, ``seesaw-hierarchical``) are registered but
+#: deliberately not part of the paper's four-way comparison
+APPROACHES = paper_approaches()
 
 
 def build_controller(
@@ -49,24 +49,24 @@ def build_controller(
     sim_share: float = 0.5,
     **kwargs,
 ) -> PowerController:
-    """Construct a controller sized for ``cfg``.
+    """Construct a registered controller sized for ``cfg``.
 
-    ``window`` is honoured by SeeSAw and the power-aware scheme; the
-    time-aware balancer ignores it by design (§VI-B) and the static
-    baseline has no feedback at all.
+    ``name`` is looked up in :mod:`repro.scenario.registry`, so every
+    registered approach — including the extensions — is constructible
+    here. ``window`` and ``sim_share`` are *soft* defaults: they are
+    forwarded only to controllers whose constructors take them (the
+    time-aware balancer ignores ``window`` by design, §VI-B, and the
+    static baseline has no feedback at all). Unknown approaches and
+    rejected options raise with the valid choices spelled out.
     """
-    args = (cfg.budget_w, cfg.n_sim, cfg.n_ana, node)
-    if name == "static":
-        return StaticController(*args, sim_share=sim_share, **kwargs)
-    if name == "seesaw":
-        return SeeSAwController(
-            *args, window=window, sim_share=sim_share, **kwargs
-        )
-    if name == "power-aware":
-        return PowerAwareController(*args, window=window, **kwargs)
-    if name == "time-aware":
-        return TimeAwareController(*args, **kwargs)
-    raise ValueError(f"unknown approach {name!r}; choose from {APPROACHES}")
+    info = get_controller(name)
+    soft = {"window": window, "sim_share": sim_share}
+    merged = {
+        k: v for k, v in soft.items() if k in info.options
+    }
+    merged.update(kwargs)
+    info.check_kwargs(merged)
+    return info.cls(cfg.budget_w, cfg.n_sim, cfg.n_ana, node, **merged)
 
 
 def run_managed(
@@ -143,4 +143,39 @@ def median_improvement(
             results[2 * i].total_time_s, results[2 * i + 1].total_time_s
         )
         for i in range(n_runs)
+    )
+
+
+def run_scenario(spec) -> list[JobResult]:
+    """Execute a plain (unpaired) :class:`~repro.scenario.ScenarioSpec`.
+
+    Returns one :class:`JobResult` per repeat, submitted as one batch
+    through the ambient engine — cell hashes are identical to the
+    equivalent :func:`run_managed` calls, so caches are shared.
+    """
+    if spec.baseline_sim_share is not None:
+        raise ValueError(
+            f"scenario {spec.name!r} is paired (baseline_sim_share="
+            f"{spec.baseline_sim_share}); use scenario_improvement()"
+        )
+    return get_engine().run_cells(spec.to_cells())
+
+
+def scenario_improvement(spec) -> float:
+    """Median improvement of a paired scenario (the paper's metric).
+
+    Equivalent to :func:`median_improvement` with the spec's approach,
+    job, repeats and baseline share — same cells, same cache keys.
+    """
+    if spec.baseline_sim_share is None:
+        raise ValueError(
+            f"scenario {spec.name!r} is not paired; set "
+            "baseline_sim_share to measure improvement"
+        )
+    results = get_engine().run_cells(spec.to_cells())
+    return median(
+        percent_improvement(
+            results[2 * i].total_time_s, results[2 * i + 1].total_time_s
+        )
+        for i in range(spec.repeats)
     )

@@ -13,14 +13,13 @@ everything.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.core import StaticController
-from repro.cluster.node import THETA_NODE
 from repro.experiments.report import format_table, heading
+from repro.experiments.runner import run_scenario
 from repro.power.rapl import CapMode
+from repro.scenario import load_suite
 from repro.util.stats import variability_pct
-from repro.workloads import JobConfig, run_job
 
 __all__ = ["Table1Result", "run_table1"]
 
@@ -56,39 +55,47 @@ class Table1Result:
         )
 
 
-def _runtime(cfg: JobConfig, run_index: int) -> float:
-    controller = StaticController(
-        cfg.budget_w, cfg.n_sim, cfg.n_ana, THETA_NODE
-    )
-    return run_job(cfg, controller, run_index=run_index).total_time_s
-
-
 def run_table1(
     n_runs: int = 7,
     dims: tuple[int, ...] = (36, 48),
     n_verlet_steps: int = 400,
     base_seed: int = 100,
 ) -> Table1Result:
-    """Regenerate Table I."""
+    """Regenerate Table I (specs/table1.json).
+
+    The shipped suite declares one run-to-run scenario per cap/dim
+    cell (``repeats=7`` → run indices 0..6 of one seed) and seven
+    job-to-job scenarios (fresh seeds). Non-default arguments derive
+    the same shapes from the suite's first scenario as a template.
+    """
+    template = load_suite("table1").specs[0]
     result = Table1Result()
     for mode in (CapMode.NONE, CapMode.LONG, CapMode.LONG_SHORT):
         for dim in dims:
-            def cfg_for(seed: int) -> JobConfig:
-                return JobConfig(
-                    analyses=("all",),
+            run_to_run_spec = replace(
+                template.with_job(
                     dim=dim,
-                    n_nodes=128,
-                    seed=seed,
-                    cap_mode=mode,
+                    cap_mode=mode.value,
                     n_verlet_steps=n_verlet_steps,
-                )
-
+                    seed=base_seed,
+                ),
+                repeats=n_runs,
+            )
             run_to_run = [
-                _runtime(cfg_for(base_seed), run_index=i)
-                for i in range(n_runs)
+                r.total_time_s for r in run_scenario(run_to_run_spec)
             ]
             job_to_job = [
-                _runtime(cfg_for(base_seed + 1 + i), run_index=0)
+                run_scenario(
+                    replace(
+                        template.with_job(
+                            dim=dim,
+                            cap_mode=mode.value,
+                            n_verlet_steps=n_verlet_steps,
+                            seed=base_seed + 1 + i,
+                        ),
+                        repeats=1,
+                    )
+                )[0].total_time_s
                 for i in range(n_runs)
             ]
             result.rows.append(

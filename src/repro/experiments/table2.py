@@ -14,11 +14,11 @@ low-demand VACF barely matters (16.76 / 15.09 / 16.24 %).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.experiments.report import format_table, heading
-from repro.experiments.runner import median_improvement
-from repro.workloads import JobConfig
+from repro.experiments.runner import scenario_improvement
+from repro.scenario import load_suite
 
 __all__ = ["Table2Result", "run_table2"]
 
@@ -66,8 +66,10 @@ def run_table2(
     n_verlet_steps: int = 400,
     seed: int = 77,
 ) -> Table2Result:
-    """Regenerate Table II (plus the paper's recommended w=2 fix for
-    the high-demand infrequent case, §VII-C2's closing sentence)."""
+    """Regenerate Table II (specs/table2.json), plus the paper's
+    recommended w=2 fix for the high-demand infrequent case (§VII-C2's
+    closing sentence)."""
+    template = load_suite("table2").specs[0]
     result = Table2Result(j_values=j_values)
     cases = (
         ("full_msd", 1, result.msd_rows),
@@ -76,15 +78,15 @@ def run_table2(
     )
     for varied, window, rows in cases:
         for j in j_values:
-            cfg = JobConfig(
-                analyses=WORKLOAD,
-                dim=16,
-                n_nodes=128,
-                n_verlet_steps=n_verlet_steps,
-                seed=seed,
-                analysis_intervals={varied: j},
+            spec = replace(
+                template.with_job(
+                    n_verlet_steps=n_verlet_steps,
+                    seed=seed,
+                    analysis_intervals={varied: j},
+                ),
+                repeats=n_runs,
+                controller={"window": window},
+                extras={"varied": varied},
             )
-            rows[j] = median_improvement(
-                "seesaw", cfg, n_runs=n_runs, window=window
-            )
+            rows[j] = scenario_improvement(spec)
     return result

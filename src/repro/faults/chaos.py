@@ -42,6 +42,7 @@ __all__ = [
     "ChaosResult",
     "DEFAULT_CONTROLLERS",
     "TIMING_FAULT_KINDS",
+    "chaos_matrix_spec",
     "run_chaos_matrix",
 ]
 
@@ -143,6 +144,48 @@ def _sim_cap_totals(allocation_log) -> np.ndarray:
     return np.asarray(totals)
 
 
+def chaos_matrix_spec(
+    controllers=DEFAULT_CONTROLLERS,
+    kinds=None,
+    seed: int = 0,
+    steps: int = 8,
+    ranks: int = 2,
+    budget_w: float = 110.0,
+    job_seed: int = 2020,
+):
+    """The sweep as a declarative :class:`~repro.scenario.ScenarioMatrix`.
+
+    ``run_chaos_matrix`` expands this matrix to drive its cells, so the
+    spec — not ad-hoc nested loops — is the single source of the sweep
+    order: controllers on the outer axis, fault kinds on the inner one.
+    The CLI's ``chaos --matrix-out`` dumps it as a suite file that
+    ``scenario expand``/``validate`` understand.
+    """
+    from repro.scenario import ScenarioMatrix, ScenarioSpec
+
+    kinds = tuple(FaultKind(k) for k in kinds) if kinds else tuple(FaultKind)
+    base = ScenarioSpec(
+        name="chaos",
+        approach=controllers[0],
+        workload="insitu",
+        chaos_seed=seed,
+        insitu={
+            "n_sim_ranks": ranks,
+            "n_ana_ranks": ranks,
+            "n_verlet_steps": steps,
+            "power_cap_w": budget_w,
+            "seed": job_seed,
+        },
+    )
+    return ScenarioMatrix(
+        base=base,
+        axes={
+            "approach": list(controllers),
+            "extras.fault_kind": [k.value for k in kinds],
+        },
+    )
+
+
 def run_chaos_matrix(
     controllers=DEFAULT_CONTROLLERS,
     kinds=None,
@@ -163,67 +206,71 @@ def run_chaos_matrix(
     from repro.experiments.runner import build_controller
     from repro.insitu import InsituConfig, run_insitu
 
-    kinds = tuple(FaultKind(k) for k in kinds) if kinds else tuple(FaultKind)
-    cfg = InsituConfig(
-        n_sim_ranks=ranks,
-        n_ana_ranks=ranks,
-        n_verlet_steps=steps,
-        power_cap_w=budget_w,
-        seed=job_seed,
+    matrix = chaos_matrix_spec(
+        controllers=controllers,
+        kinds=kinds,
+        seed=seed,
+        steps=steps,
+        ranks=ranks,
+        budget_w=budget_w,
+        job_seed=job_seed,
     )
+    cfg = InsituConfig(**matrix.base.insitu)
     shape = SimpleNamespace(
         budget_w=cfg.world_size * budget_w, n_sim=ranks, n_ana=ranks
     )
     result = ChaosResult(seed=seed)
     event_rows: list[dict] = []
 
-    for name in controllers:
-        # clean baseline under the null injector (bit-identical to an
-        # uninstrumented run) fixes the horizon the plans are sampled on
-        with use_faults(NULL_FAULTS):
-            baseline = run_insitu(cfg, build_controller(name, shape))
-        result.baselines[name] = baseline.virtual_time_s
+    for cell_spec in matrix.expand():
+        name = cell_spec.approach
+        kind = FaultKind(cell_spec.extras["fault_kind"])
+        if name not in result.baselines:
+            # clean baseline under the null injector (bit-identical to
+            # an uninstrumented run) fixes the horizon the plans are
+            # sampled on
+            with use_faults(NULL_FAULTS):
+                baseline = run_insitu(cfg, build_controller(name, shape))
+            result.baselines[name] = baseline.virtual_time_s
+        baseline_s = result.baselines[name]
 
-        for kind in kinds:
-            plan = FaultPlan.sample(
-                seed,
-                cfg.world_size,
-                horizon_s=max(baseline.virtual_time_s, 1e-3),
-                kinds=(kind,),
+        plan = FaultPlan.sample(
+            cell_spec.chaos_seed,
+            cfg.world_size,
+            horizon_s=max(baseline_s, 1e-3),
+            kinds=(kind,),
+        )
+        injector = FaultInjector(plan)
+        cell = ChaosCell(
+            controller=name,
+            kind=kind.value,
+            ok=True,
+            baseline_time_s=baseline_s,
+        )
+        try:
+            with use_faults(injector):
+                faulted = run_insitu(cfg, build_controller(name, shape))
+        except Exception as exc:  # the gate reports, caller decides
+            cell.ok = False
+            cell.error = f"{type(exc).__name__}: {exc}"
+        else:
+            totals = _sim_cap_totals(faulted.allocation_log)
+            cell.virtual_time_s = faulted.virtual_time_s
+            cell.n_decisions = len(faulted.allocation_log)
+            cell.cap_std_w = float(totals.std()) if len(totals) > 1 else 0.0
+            cell.budget_ok = all(
+                (entry[1] if isinstance(entry, tuple) else entry).total_w
+                <= shape.budget_w + 1e-6
+                for entry in faulted.allocation_log
             )
-            injector = FaultInjector(plan)
-            cell = ChaosCell(
-                controller=name,
-                kind=kind.value,
-                ok=True,
-                baseline_time_s=baseline.virtual_time_s,
+            cell.n_fault_windows = sum(
+                1 for r in injector.event_log if r["phase"] == "start"
             )
-            try:
-                with use_faults(injector):
-                    faulted = run_insitu(cfg, build_controller(name, shape))
-            except Exception as exc:  # the gate reports, caller decides
-                cell.ok = False
-                cell.error = f"{type(exc).__name__}: {exc}"
-            else:
-                totals = _sim_cap_totals(faulted.allocation_log)
-                cell.virtual_time_s = faulted.virtual_time_s
-                cell.n_decisions = len(faulted.allocation_log)
-                cell.cap_std_w = (
-                    float(totals.std()) if len(totals) > 1 else 0.0
-                )
-                cell.budget_ok = all(
-                    (entry[1] if isinstance(entry, tuple) else entry).total_w
-                    <= shape.budget_w + 1e-6
-                    for entry in faulted.allocation_log
-                )
-                cell.n_fault_windows = sum(
-                    1 for r in injector.event_log if r["phase"] == "start"
-                )
-            for row in injector.event_log:
-                event_rows.append(
-                    {"controller": name, "cell_kind": kind.value, **row}
-                )
-            result.cells.append(cell)
+        for row in injector.event_log:
+            event_rows.append(
+                {"controller": name, "cell_kind": kind.value, **row}
+            )
+        result.cells.append(cell)
 
     if events_path is not None:
         path = Path(events_path)

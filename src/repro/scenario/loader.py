@@ -1,0 +1,168 @@
+"""Loading shipped and user spec files.
+
+A spec file is JSON in one of three shapes:
+
+* a single scenario object (has a ``name`` key);
+* a suite: ``{"suite": "fig4", "scenarios": [<scenario>, ...]}``;
+* a sweep: ``{"suite": "fig8", "matrix": {"base": ..., "axes": ...}}``.
+
+The repository ships one file per figure/table under ``specs/``
+(located next to ``pyproject.toml``; override with
+``SEESAW_SPECS_DIR``). ``specs/HASHES.json`` pins every file's content
+hash — the CI drift check and ``scenario hash --check`` both compare
+against it, so editing a spec without re-pinning fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.scenario.matrix import ScenarioMatrix
+from repro.scenario.spec import ScenarioSpec, SpecError, spec_hash
+
+__all__ = [
+    "SpecSuite",
+    "load_spec_file",
+    "load_suite",
+    "spec_path",
+    "specs_dir",
+    "suite_hash",
+]
+
+#: environment override for the shipped-specs directory
+SPECS_DIR_ENV = "SEESAW_SPECS_DIR"
+
+
+def specs_dir() -> Path:
+    """The shipped ``specs/`` directory.
+
+    Resolution order: ``$SEESAW_SPECS_DIR``, the repository root
+    (two levels above the installed ``repro`` package — the src
+    layout), then ``./specs`` relative to the working directory.
+    """
+    override = os.environ.get(SPECS_DIR_ENV)
+    if override:
+        return Path(override)
+    import repro
+
+    repo_root = Path(repro.__file__).resolve().parents[2]
+    candidate = repo_root / "specs"
+    if candidate.is_dir():
+        return candidate
+    return Path("specs")
+
+
+def spec_path(name: str) -> Path:
+    """Path of a shipped suite file (``fig4`` → ``specs/fig4.json``)."""
+    return specs_dir() / f"{name}.json"
+
+
+@dataclass(frozen=True)
+class SpecSuite:
+    """One loaded spec file: its concrete scenarios, in file order."""
+
+    name: str
+    path: Path | None
+    specs: tuple[ScenarioSpec, ...]
+    #: the un-expanded sweep, when the file declared one
+    matrix: ScenarioMatrix | None = None
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Scenario by exact name (or name suffix after the suite)."""
+        for s in self.specs:
+            if s.name == name or s.name == f"{self.name}/{name}":
+                return s
+        raise KeyError(
+            f"suite {self.name!r} has no scenario {name!r}; "
+            f"contains: {', '.join(s.name for s in self.specs)}"
+        )
+
+
+def load_spec_file(path: Path | str) -> SpecSuite:
+    """Parse one spec file into a :class:`SpecSuite` (strict)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecError(f"{path}: cannot read spec file ({exc})") from None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path}: not valid JSON ({exc})") from None
+
+    where = str(path)
+    if not isinstance(doc, dict):
+        raise SpecError(f"{where}: top level must be an object")
+
+    if "name" in doc and "suite" not in doc:
+        spec = ScenarioSpec.from_json(doc, where=where)
+        return SpecSuite(name=spec.name, path=path, specs=(spec,))
+
+    suite_name = doc.get("suite")
+    if not isinstance(suite_name, str) or not suite_name:
+        raise SpecError(
+            f"{where}: expected a 'suite' name (or a single scenario "
+            "object with a 'name' key)"
+        )
+    bad = sorted(set(doc) - {"suite", "scenarios", "matrix"})
+    if bad:
+        raise SpecError(
+            f"{where}: unknown key(s) {', '.join(bad)}; "
+            "valid keys: matrix, scenarios, suite"
+        )
+    if ("scenarios" in doc) == ("matrix" in doc):
+        raise SpecError(
+            f"{where}: a suite needs exactly one of 'scenarios' or 'matrix'"
+        )
+
+    if "matrix" in doc:
+        matrix = ScenarioMatrix.from_json(
+            doc["matrix"], where=f"{where}.matrix"
+        )
+        return SpecSuite(
+            name=suite_name,
+            path=path,
+            specs=tuple(matrix.expand()),
+            matrix=matrix,
+        )
+
+    raw = doc["scenarios"]
+    if not isinstance(raw, list) or not raw:
+        raise SpecError(f"{where}.scenarios: expected a non-empty list")
+    specs = tuple(
+        ScenarioSpec.from_json(s, where=f"{where}.scenarios[{i}]")
+        for i, s in enumerate(raw)
+    )
+    names = [s.name for s in specs]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise SpecError(
+            f"{where}: duplicate scenario name(s): {', '.join(dupes)}"
+        )
+    return SpecSuite(name=suite_name, path=path, specs=specs)
+
+
+def load_suite(name: str) -> SpecSuite:
+    """Load a shipped suite by name (``fig4``, ``table2``, …)."""
+    return load_spec_file(spec_path(name))
+
+
+def suite_hash(suite: SpecSuite) -> str:
+    """Content hash of a suite: over its expanded scenario hashes.
+
+    Hashing the *expanded* scenarios (not the raw file bytes) means
+    formatting-only edits don't drift the pin, while any change that
+    alters what would actually run does.
+    """
+    from repro.campaign.hashing import stable_hash
+
+    return stable_hash([suite.name, [spec_hash(s) for s in suite.specs]])

@@ -1,0 +1,123 @@
+"""Parameter-sweep expansion: one base spec × axes → concrete specs.
+
+A :class:`ScenarioMatrix` is the declarative form of the experiment
+sweeps the figures hand-coded as nested loops: a base
+:class:`~repro.scenario.spec.ScenarioSpec` plus named axes, each a
+dotted field path (``job.budget_per_node_w``, ``controller.window``,
+``repeats`` …) with the values to sweep. :meth:`expand` takes the
+cartesian product in axis-declaration order — the *first* axis is the
+outermost loop, matching how the in-code sweeps iterate — and derives
+one concrete, uniquely-named spec per combination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields, replace
+
+from repro.scenario.spec import JobParams, ScenarioSpec, SpecError
+
+__all__ = ["ScenarioMatrix", "set_field"]
+
+
+def set_field(spec: ScenarioSpec, path: str, value) -> ScenarioSpec:
+    """Copy of ``spec`` with the dotted ``path`` set to ``value``.
+
+    Supported roots: any top-level spec field, ``job.<field>``, and
+    one-level keys inside the ``controller`` / ``insitu`` / ``extras``
+    mappings.
+    """
+    head, _, rest = path.partition(".")
+    if head == "job":
+        if rest not in {f.name for f in fields(JobParams)}:
+            raise SpecError(f"matrix axis {path!r}: no such job field")
+        if rest == "analyses":
+            value = tuple(value)
+        return spec.with_job(**{rest: value})
+    if head in ("controller", "insitu", "extras"):
+        if not rest:
+            raise SpecError(f"matrix axis {path!r}: needs a key, e.g. {head}.window")
+        mapping = {**getattr(spec, head), rest: value}
+        return replace(spec, **{head: mapping})
+    if rest:
+        raise SpecError(f"matrix axis {path!r}: unknown nested root {head!r}")
+    if head not in {f.name for f in fields(ScenarioSpec)}:
+        raise SpecError(f"matrix axis {path!r}: no such scenario field")
+    return replace(spec, **{head: value})
+
+
+def _axis_label(path: str, value) -> str:
+    """Short ``key=value`` tag for expanded spec names."""
+    key = path.rsplit(".", 1)[-1]
+    if isinstance(value, float) and value == int(value):
+        value = int(value)
+    if isinstance(value, (list, tuple)):
+        value = "+".join(str(v) for v in value)
+    return f"{key}={value}"
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A sweep: base spec × named axes (dotted path → values)."""
+
+    base: ScenarioSpec
+    #: insertion order defines loop nesting (first axis outermost)
+    axes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for path, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SpecError(
+                    f"matrix axis {path!r}: expected a non-empty list of values"
+                )
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def expand(self) -> list[ScenarioSpec]:
+        """All concrete specs, cartesian product in axis order."""
+        if not self.axes:
+            return [self.base]
+        paths = list(self.axes)
+        out = []
+        for combo in itertools.product(*(self.axes[p] for p in paths)):
+            spec = self.base
+            for path, value in zip(paths, combo):
+                spec = set_field(spec, path, value)
+            tags = "/".join(
+                _axis_label(p, v) for p, v in zip(paths, combo)
+            )
+            out.append(replace(spec, name=f"{self.base.name}/{tags}"))
+        return out
+
+    # ----------------------------------------------------- serialization
+    def to_json(self) -> dict:
+        return {
+            "base": self.base.to_json(),
+            "axes": {p: list(vs) for p, vs in self.axes.items()},
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict, where: str = "matrix") -> "ScenarioMatrix":
+        if not isinstance(doc, dict):
+            raise SpecError(f"{where}: expected an object")
+        bad = sorted(set(doc) - {"base", "axes"})
+        if bad:
+            raise SpecError(
+                f"{where}: unknown key(s) {', '.join(bad)}; "
+                "valid keys: axes, base"
+            )
+        if "base" not in doc:
+            raise SpecError(f"{where}: missing required key 'base'")
+        base = ScenarioSpec.from_json(doc["base"], where=f"{where}.base")
+        axes = doc.get("axes", {})
+        if not isinstance(axes, dict):
+            raise SpecError(f"{where}.axes: expected an object")
+        matrix = cls(base=base, axes=dict(axes))
+        # fail fast on bad paths, not at expand time
+        for path in matrix.axes:
+            set_field(base, path, matrix.axes[path][0])
+        return matrix

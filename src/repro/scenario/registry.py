@@ -1,0 +1,276 @@
+"""Registries: named controllers, workloads, analyses and machines.
+
+The string→implementation maps that used to live as ``if``-chains in
+``runner.build_controller`` and as ad-hoc dicts (``core.CONTROLLERS``,
+the CLI's approach checks) become declarative registries populated by
+decorators at class/function definition site::
+
+    @register_controller("seesaw", paper=True)
+    class SeeSAwController(PowerController): ...
+
+    @register_workload("proxy")
+    def run_job(cfg, controller, ...): ...
+
+Each :class:`ControllerInfo` carries introspected metadata — the
+keyword options the constructor actually accepts, with defaults — so
+callers can validate a kwargs dict *before* construction and report
+exactly which keys a controller rejects (``scenario validate`` and
+:func:`repro.experiments.runner.build_controller` both use this).
+
+This module imports nothing from the rest of the package (only the
+stdlib), so any layer — core, workloads, experiments — can import the
+decorators without cycles.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "ControllerInfo",
+    "MachineInfo",
+    "RegistryError",
+    "WorkloadInfo",
+    "controller_names",
+    "get_controller",
+    "get_machine",
+    "get_workload",
+    "list_analyses",
+    "list_controllers",
+    "list_machines",
+    "list_workloads",
+    "paper_approaches",
+    "register_analysis",
+    "register_controller",
+    "register_machine",
+    "register_workload",
+]
+
+
+class RegistryError(KeyError, ValueError):
+    """Unknown registry name; the message lists the valid choices.
+
+    Doubles as both ``KeyError`` (it is a failed lookup) and
+    ``ValueError`` (what the pre-registry dispatch raised), so callers
+    written against either idiom keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep prose
+        return self.args[0]
+
+
+#: constructor parameters shared by every controller — positional shape
+#: arguments, not per-controller options
+_CORE_PARAMS = ("self", "budget_w", "n_sim", "n_ana", "node")
+
+
+@dataclass(frozen=True)
+class ControllerInfo:
+    """One registered power-allocation strategy."""
+
+    name: str
+    cls: type
+    #: one-line description (first docstring line)
+    description: str
+    #: keyword options the constructor accepts, with their defaults
+    options: dict[str, Any] = field(default_factory=dict)
+    #: 1-based position in the paper's evaluated approach ordering
+    #: (0 = an extension outside the paper's four approaches)
+    paper: int = 0
+
+    def rejected_kwargs(self, kwargs: dict) -> list[str]:
+        """Keys of ``kwargs`` this controller's constructor rejects."""
+        return sorted(k for k in kwargs if k not in self.options)
+
+    def check_kwargs(self, kwargs: dict) -> None:
+        """Raise ``TypeError`` naming every rejected kwarg.
+
+        This is the first line of defense the ISSUE's satellite asks
+        for: instead of a bare ``TypeError: __init__() got an
+        unexpected keyword argument`` from deep inside the
+        constructor, the caller learns *which* keys were rejected and
+        what the controller does accept.
+        """
+        bad = self.rejected_kwargs(kwargs)
+        if bad:
+            accepted = ", ".join(sorted(self.options)) or "(none)"
+            raise TypeError(
+                f"controller {self.name!r} rejected option(s) "
+                f"{', '.join(repr(k) for k in bad)}; it accepts: {accepted}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One registered workload entry point."""
+
+    name: str
+    fn: Callable
+    description: str
+
+
+@dataclass(frozen=True)
+class MachineInfo:
+    """One registered machine factory (fresh spec per call)."""
+
+    name: str
+    factory: Callable
+    description: str
+
+
+_CONTROLLERS: dict[str, ControllerInfo] = {}
+_WORKLOADS: dict[str, WorkloadInfo] = {}
+_ANALYSES: dict[str, str] = {}
+_MACHINES: dict[str, MachineInfo] = {}
+
+
+def _first_doc_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    for line in doc.splitlines():
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+def _introspect_options(cls: type) -> dict[str, Any]:
+    """Keyword options (name → default) of a controller constructor,
+    excluding the shared positional shape arguments."""
+    options: dict[str, Any] = {}
+    for p in inspect.signature(cls.__init__).parameters.values():
+        if p.name in _CORE_PARAMS or p.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        options[p.name] = p.default
+    return options
+
+
+# ------------------------------------------------------------- decorators
+def register_controller(name: str, *, paper: int = 0):
+    """Class decorator: register a :class:`PowerController` subclass."""
+
+    def deco(cls: type) -> type:
+        _CONTROLLERS[name] = ControllerInfo(
+            name=name,
+            cls=cls,
+            description=_first_doc_line(cls),
+            options=_introspect_options(cls),
+            paper=paper,
+        )
+        return cls
+
+    return deco
+
+
+def register_workload(name: str):
+    """Function decorator: register a workload entry point."""
+
+    def deco(fn: Callable) -> Callable:
+        _WORKLOADS[name] = WorkloadInfo(
+            name=name, fn=fn, description=_first_doc_line(fn)
+        )
+        return fn
+
+    return deco
+
+
+def register_analysis(name: str, description: str = "") -> None:
+    """Register an analysis workload name (base kernel or composite)."""
+    _ANALYSES[name] = description
+
+
+def register_machine(name: str):
+    """Function decorator: register a machine-spec factory."""
+
+    def deco(factory: Callable) -> Callable:
+        _MACHINES[name] = MachineInfo(
+            name=name, factory=factory, description=_first_doc_line(factory)
+        )
+        return factory
+
+    return deco
+
+
+# ---------------------------------------------------------------- lookups
+def _ensure_populated() -> None:
+    """Import the modules whose definitions self-register.
+
+    Registration happens at class/function definition site; a caller
+    that only imported :mod:`repro.scenario` must still see the
+    built-ins, so look-ups lazily import the defining modules (cheap
+    after the first time — they sit in ``sys.modules``).
+    """
+    import repro.core  # noqa: F401  (controllers register on import)
+    import repro.insitu.coupler  # noqa: F401  (the DES-backed workload)
+    import repro.workloads  # noqa: F401  (workloads + analyses + machines)
+
+
+def get_controller(name: str) -> ControllerInfo:
+    _ensure_populated()
+    try:
+        return _CONTROLLERS[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown approach {name!r}; choose from "
+            f"{', '.join(sorted(_CONTROLLERS))}"
+        ) from None
+
+
+def list_controllers() -> dict[str, ControllerInfo]:
+    _ensure_populated()
+    return dict(_CONTROLLERS)
+
+
+def controller_names() -> tuple[str, ...]:
+    """Every registered approach name (registration order)."""
+    _ensure_populated()
+    return tuple(_CONTROLLERS)
+
+
+def paper_approaches() -> tuple[str, ...]:
+    """The paper's evaluated approaches, in the paper's ordering."""
+    _ensure_populated()
+    ranked = sorted(
+        (i.paper, n) for n, i in _CONTROLLERS.items() if i.paper
+    )
+    return tuple(n for _, n in ranked)
+
+
+def get_workload(name: str) -> WorkloadInfo:
+    _ensure_populated()
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(sorted(_WORKLOADS))}"
+        ) from None
+
+
+def list_workloads() -> dict[str, WorkloadInfo]:
+    _ensure_populated()
+    return dict(_WORKLOADS)
+
+
+def list_analyses() -> dict[str, str]:
+    _ensure_populated()
+    return dict(_ANALYSES)
+
+
+def get_machine(name: str) -> MachineInfo:
+    _ensure_populated()
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown machine {name!r}; choose from "
+            f"{', '.join(sorted(_MACHINES))}"
+        ) from None
+
+
+def list_machines() -> dict[str, MachineInfo]:
+    _ensure_populated()
+    return dict(_MACHINES)

@@ -36,6 +36,7 @@ Measurement model details:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.core.types import Observation, PartitionMeasurement
 from repro.power.execution import execute_phase
 from repro.power.rapl import CapMode, RaplDomainArray
 from repro.power.trace import PowerTrace
+from repro.scenario.registry import register_workload
 from repro.telemetry import get_tracer
 from repro.util.rng import RngStream
 from repro.workloads.profiles import (
@@ -116,11 +118,31 @@ class JobConfig:
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2 or self.n_nodes % 2:
-            raise ValueError("n_nodes must be even and >= 2")
-        if self.j < 1 or self.n_verlet_steps < self.j:
-            raise ValueError("invalid j / step count")
+            raise ValueError(
+                f"n_nodes must be even and >= 2 (half simulate, half "
+                f"analyze), got {self.n_nodes}"
+            )
+        if self.j < 1:
+            raise ValueError(f"j must be >= 1, got {self.j}")
+        if self.n_verlet_steps < self.j:
+            raise ValueError(
+                f"n_verlet_steps ({self.n_verlet_steps}) must cover at "
+                f"least one synchronization interval (j={self.j})"
+            )
         if not self.analyses:
             raise ValueError("need at least one analysis")
+        if not math.isfinite(self.budget_per_node_w):
+            raise ValueError(
+                f"budget_per_node_w must be finite, got "
+                f"{self.budget_per_node_w}"
+            )
+        floor = self.machine.node.rapl_min_watts
+        if self.budget_per_node_w < floor:
+            raise ValueError(
+                f"budget_per_node_w={self.budget_per_node_w} is below the "
+                f"{self.machine.name} RAPL floor of {floor} W per node; "
+                f"the cap could never be enforced"
+            )
         self.machine.validate_job(self.n_nodes)
 
     @property
@@ -623,6 +645,7 @@ class ProxyJobSession:
         )
 
 
+@register_workload("proxy")
 def run_job(
     cfg: JobConfig,
     controller: PowerController,

@@ -1,0 +1,62 @@
+"""Regression pins: spec-derived CellSpecs hash exactly as before.
+
+The campaign cell cache is content-addressed over
+``canonical(CellSpec)``; these digests were captured from the
+pre-scenario-layer code (harnesses building ``JobConfig`` +
+``CellSpec`` by hand). If any of them moves, every cached fig4/fig5
+cell on every user's machine is silently invalidated — treat a change
+here as breaking, not as a pin to refresh.
+"""
+
+from repro.campaign.hashing import canonical, stable_hash
+from repro.scenario import load_suite
+
+#: digests captured before the declarative scenario layer existed
+PRE_REFACTOR_CELL_HASHES = {
+    "fig4/seesaw": (
+        "a1c0f7565551a5369b4a7aafe852e47885c608b5cb5c4ab755459bb53734e577"
+    ),
+    "fig4/time-aware": (
+        "edd6e240142cbde6c5a05c8686dc09472aa379cf019c853399d6be517a2cde1a"
+    ),
+    "fig4/power-aware": (
+        "95d872da04743c6c1d14f8a7511d8cc96ed84122c81a16812456103983fcdd8d"
+    ),
+    "fig4/static": (
+        "16b0a85d79140f337b718c1970cd40264d72788bd14134233ad17fd38bb792a0"
+    ),
+    "fig5/static-n1024": (
+        "b9d42420bc05c295ec4d6da55e514e05d117fbfa8bd0fa1fbf653f133ec27684"
+    ),
+    "fig5/seesaw-n1024": (
+        "f32cc156bddeefb7d54fd67c8fa097e1b9729b2d8d669fba617ce44a16cc49f7"
+    ),
+    "fig5/time-aware-n1024": (
+        "00a716650c785cd147d14e84c25f575f0da8a8ecb7514377b9fc8ed9f1340c73"
+    ),
+    "fig5/seesaw-n128": (
+        "1009c1c05d9376bf2f657222210b3faa0411be146dc5d7d01b9ac3a7de2613e8"
+    ),
+}
+
+
+def test_spec_derived_cells_keep_pre_refactor_hashes():
+    actual = {}
+    for suite_name in ("fig4", "fig5"):
+        for spec in load_suite(suite_name):
+            cell = spec.to_cells()[0]
+            actual[spec.name] = stable_hash(canonical(cell))
+    assert actual == PRE_REFACTOR_CELL_HASHES
+
+
+def test_cell_hash_independent_of_spec_name_and_extras():
+    """Renaming a scenario or annotating extras must not bust the cache."""
+    import dataclasses
+
+    spec = load_suite("fig4").specs[0]
+    relabeled = dataclasses.replace(
+        spec, name="something/else", extras={"note": "hi"}
+    )
+    assert stable_hash(canonical(relabeled.to_cells()[0])) == stable_hash(
+        canonical(spec.to_cells()[0])
+    )

@@ -1,0 +1,60 @@
+"""ScenarioMatrix: expansion order, naming, strict paths."""
+
+import pytest
+
+from repro.scenario import (
+    JobParams,
+    ScenarioMatrix,
+    ScenarioSpec,
+    SpecError,
+    set_field,
+)
+
+
+def _base():
+    return ScenarioSpec(
+        name="m", approach="seesaw", job=JobParams(n_verlet_steps=8)
+    )
+
+
+def test_expand_cartesian_first_axis_outermost():
+    matrix = ScenarioMatrix(
+        base=_base(),
+        axes={"job.j": [1, 2], "controller.window": [1, 5]},
+    )
+    specs = matrix.expand()
+    assert [s.name for s in specs] == [
+        "m/j=1/window=1",
+        "m/j=1/window=5",
+        "m/j=2/window=1",
+        "m/j=2/window=5",
+    ]
+    assert specs[0].job.j == 1 and specs[0].controller["window"] == 1
+    assert specs[3].job.j == 2 and specs[3].controller["window"] == 5
+    assert len(matrix) == 4
+
+
+def test_matrix_round_trip():
+    matrix = ScenarioMatrix(
+        base=_base(), axes={"job.budget_per_node_w": [110.0, 120.0]}
+    )
+    clone = ScenarioMatrix.from_json(matrix.to_json())
+    assert clone == matrix
+    assert [s.name for s in clone.expand()] == [
+        s.name for s in matrix.expand()
+    ]
+
+
+def test_set_field_paths():
+    spec = _base()
+    assert set_field(spec, "approach", "static").approach == "static"
+    assert set_field(spec, "job.dim", 48).job.dim == 48
+    assert set_field(spec, "controller.window", 4).controller["window"] == 4
+    assert set_field(spec, "extras.tag", "x").extras["tag"] == "x"
+
+
+def test_bad_axis_path_fails_fast():
+    with pytest.raises(SpecError):
+        ScenarioMatrix(base=_base(), axes={"job.nope": [1]}).expand()
+    with pytest.raises(SpecError):
+        set_field(_base(), "nope", 1)

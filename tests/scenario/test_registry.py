@@ -1,0 +1,117 @@
+"""Registries: lookups, metadata, error quality, runner integration."""
+
+import pytest
+
+from repro.experiments.runner import APPROACHES, build_controller
+from repro.scenario import (
+    RegistryError,
+    controller_names,
+    get_controller,
+    get_machine,
+    get_workload,
+    list_analyses,
+    list_controllers,
+    paper_approaches,
+)
+from repro.workloads import JobConfig
+
+
+def test_paper_approaches_order():
+    assert paper_approaches() == (
+        "static", "power-aware", "time-aware", "seesaw",
+    )
+    assert APPROACHES == paper_approaches()
+
+
+def test_all_controllers_registered():
+    names = controller_names()
+    assert set(names) >= {
+        "static",
+        "power-aware",
+        "time-aware",
+        "seesaw",
+        "seesaw-exploring",
+        "seesaw-hierarchical",
+    }
+
+
+def test_unknown_controller_is_both_key_and_value_error():
+    with pytest.raises(RegistryError, match="unknown approach 'zzz'"):
+        get_controller("zzz")
+    with pytest.raises(ValueError):
+        get_controller("zzz")
+    with pytest.raises(KeyError):
+        get_controller("zzz")
+
+
+def test_lookup_error_lists_choices():
+    with pytest.raises(RegistryError, match="seesaw-exploring"):
+        get_controller("zzz")
+
+
+def test_controller_metadata_lists_options():
+    info = get_controller("seesaw")
+    assert "window" in info.options
+    assert "sim_share" in info.options
+    static = get_controller("static")
+    assert "window" not in static.options
+
+
+def test_check_kwargs_reports_rejected_names():
+    info = get_controller("time-aware")
+    with pytest.raises(TypeError, match="rejected option\\(s\\) 'frob'"):
+        info.check_kwargs({"frob": 1})
+    with pytest.raises(TypeError, match="accepts"):
+        info.check_kwargs({"frob": 1})
+
+
+def test_workload_and_machine_lookup():
+    assert callable(get_workload("proxy").fn)
+    assert callable(get_workload("insitu").fn)
+    assert get_machine("theta").factory().name == "theta"
+    with pytest.raises(RegistryError):
+        get_workload("zzz")
+    with pytest.raises(RegistryError):
+        get_machine("zzz")
+
+
+def test_analyses_registered():
+    assert set(list_analyses()) >= {
+        "rdf", "vacf", "full_msd", "all", "all_msd",
+    }
+
+
+@pytest.mark.parametrize("name", sorted(controller_names()))
+def test_every_registered_controller_builds(name):
+    cfg = JobConfig(analyses=("vacf",), dim=16, n_nodes=4, n_verlet_steps=4)
+    controller = build_controller(name, cfg)
+    assert controller.budget_w == cfg.budget_w
+
+
+def test_build_controller_reports_rejected_kwargs():
+    cfg = JobConfig(analyses=("vacf",), dim=16, n_nodes=4, n_verlet_steps=4)
+    with pytest.raises(TypeError, match="rejected option\\(s\\) 'frob'"):
+        build_controller("static", cfg, frob=3)
+
+
+def test_build_controller_soft_defaults_dropped_silently():
+    """window/sim_share are soft: controllers without them ignore them
+    (the pre-scenario harnesses passed window= to every approach)."""
+    cfg = JobConfig(analyses=("vacf",), dim=16, n_nodes=4, n_verlet_steps=4)
+    controller = build_controller("static", cfg, window=3, sim_share=0.4)
+    assert controller.sim_share == 0.4
+    assert not hasattr(controller, "window")
+
+
+def test_experimental_controllers_run_a_small_job():
+    """seesaw-exploring / seesaw-hierarchical actually drive a job."""
+    from repro.experiments.runner import run_managed
+
+    for name in ("seesaw-exploring", "seesaw-hierarchical"):
+        res = run_managed(
+            name,
+            JobConfig(
+                analyses=("vacf",), dim=16, n_nodes=4, n_verlet_steps=6
+            ),
+        )
+        assert res.total_time_s > 0

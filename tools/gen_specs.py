@@ -1,0 +1,320 @@
+"""Regenerate the shipped scenario suites under ``specs/``.
+
+The spec files are the single declarative source the figure/table
+harnesses execute (``repro.experiments.*`` loads them via
+``repro.scenario.load_suite``). This script is the authoritative
+builder: it re-derives every suite from the paper's §VII parameter
+tables and re-pins ``specs/HASHES.json``. Run it after deliberately
+changing an experiment's parameters::
+
+    PYTHONPATH=src python tools/gen_specs.py
+
+CI's ``scenario-validate`` step fails if a shipped file no longer
+matches its pinned hash, so accidental edits cannot slip through.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.scenario import (  # noqa: E402
+    JobParams,
+    ScenarioMatrix,
+    ScenarioSpec,
+    SpecSuite,
+    suite_hash,
+    validate_spec,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+SPECS = REPO / "specs"
+
+
+# --------------------------------------------------------------- fig 1-2
+def fig1() -> list[ScenarioSpec]:
+    """The opening power trace: static baseline, traces on (~10 syncs)."""
+    return [
+        ScenarioSpec(
+            name="fig1/baseline-trace",
+            approach="static",
+            job=JobParams(
+                analyses=("full_msd",),
+                dim=16,
+                n_nodes=128,
+                n_verlet_steps=40,
+                seed=5,
+                collect_traces=True,
+            ),
+        )
+    ]
+
+
+def fig2() -> list[ScenarioSpec]:
+    """The worked 210 W example — analytic, parameters ride in extras."""
+    return [
+        ScenarioSpec(
+            name="fig2/worked-example",
+            approach="seesaw",
+            extras={
+                "t_sim_s": 100.0,
+                "p_sim_w": 90.0,
+                "t_ana_s": 60.0,
+                "p_ana_w": 120.0,
+                "budget_w": 210.0,
+            },
+        )
+    ]
+
+
+# --------------------------------------------------------------- fig 3
+def fig3a() -> list[ScenarioSpec]:
+    from repro.experiments.fig3 import FIG3A_CASES, case_specs
+
+    return case_specs("fig3a", FIG3A_CASES)
+
+
+def fig3b() -> list[ScenarioSpec]:
+    from repro.experiments.fig3 import FIG3B_CASES, case_specs
+
+    return case_specs("fig3b", FIG3B_CASES)
+
+
+# --------------------------------------------------------------- fig 4-5
+def fig4() -> list[ScenarioSpec]:
+    job = JobParams(
+        analyses=("full_msd",), dim=16, n_nodes=128, n_verlet_steps=400,
+        seed=42,
+    )
+    return [
+        ScenarioSpec(name=f"fig4/{approach}", approach=approach, job=job)
+        for approach in ("seesaw", "time-aware", "power-aware", "static")
+    ]
+
+
+def fig5() -> list[ScenarioSpec]:
+    def job(nodes: int) -> JobParams:
+        return JobParams(
+            analyses=("all",), dim=36, n_nodes=nodes, n_verlet_steps=400,
+            seed=17,
+        )
+
+    return [
+        ScenarioSpec(name="fig5/static-n1024", approach="static", job=job(1024)),
+        ScenarioSpec(name="fig5/seesaw-n1024", approach="seesaw", job=job(1024)),
+        ScenarioSpec(
+            name="fig5/time-aware-n1024", approach="time-aware", job=job(1024)
+        ),
+        ScenarioSpec(name="fig5/seesaw-n128", approach="seesaw", job=job(128)),
+    ]
+
+
+# --------------------------------------------------------------- fig 6-8
+def fig6() -> ScenarioMatrix:
+    base = ScenarioSpec(
+        name="fig6",
+        approach="seesaw",
+        baseline_sim_share=0.5,
+        repeats=3,
+        job=JobParams(
+            analyses=("all",), dim=48, n_nodes=1024, n_verlet_steps=400,
+            seed=60,
+        ),
+    )
+    return ScenarioMatrix(
+        base=base,
+        axes={"job.j": [1, 10, 40], "controller.window": [1, 2, 5, 10, 20]},
+    )
+
+
+def fig7() -> list[ScenarioSpec]:
+    starts = (
+        ("sim-heavy", "sim-heavy (S 120 / A 100)", 120.0, 100.0),
+        ("ana-heavy", "ana-heavy (S 100 / A 120)", 100.0, 120.0),
+        ("equal", "equal (S 110 / A 110)", 110.0, 110.0),
+    )
+    out = []
+    for slug, label, sim_w, ana_w in starts:
+        share = sim_w / (sim_w + ana_w)
+        out.append(
+            ScenarioSpec(
+                name=f"fig7/{slug}",
+                approach="seesaw",
+                controller={"window": 2, "sim_share": share},
+                baseline_sim_share=share,
+                repeats=3,
+                job=JobParams(
+                    analyses=("all",), dim=36, n_nodes=128,
+                    n_verlet_steps=400, seed=7,
+                ),
+                extras={"label": label, "sim_w": sim_w, "ana_w": ana_w},
+            )
+        )
+    return out
+
+
+def fig8() -> ScenarioMatrix:
+    base = ScenarioSpec(
+        name="fig8",
+        approach="seesaw",
+        baseline_sim_share=0.5,
+        repeats=3,
+        job=JobParams(
+            analyses=("all_msd",), dim=16, n_nodes=128, n_verlet_steps=400,
+            seed=88,
+        ),
+    )
+    return ScenarioMatrix(
+        base=base,
+        axes={
+            "job.budget_per_node_w": [
+                98.0, 105.0, 110.0, 115.0, 120.0, 130.0, 140.0, 160.0,
+                180.0, 215.0,
+            ]
+        },
+    )
+
+
+# --------------------------------------------------------------- fig 9
+def fig9() -> list[ScenarioSpec]:
+    out = [
+        ScenarioSpec(
+            name=f"fig9/relative-n{nodes}",
+            approach="seesaw",
+            job=JobParams(
+                analyses=("all",), dim=48, n_nodes=nodes,
+                n_verlet_steps=100, seed=99,
+            ),
+            extras={"panel": "9a"},
+        )
+        for nodes in (128, 1024)
+    ]
+    # 9b is analytic (no cells run): the spec's job parameterizes the
+    # overhead model at each cap
+    out += [
+        ScenarioSpec(
+            name=f"fig9/absolute-cap{cap:.0f}",
+            approach="seesaw",
+            job=JobParams(
+                analyses=("all",), dim=48, n_nodes=128,
+                budget_per_node_w=cap, seed=99,
+            ),
+            extras={"panel": "9b"},
+        )
+        for cap in (98.0, 110.0, 130.0, 160.0, 215.0)
+    ]
+    return out
+
+
+# --------------------------------------------------------------- tables
+def table1() -> list[ScenarioSpec]:
+    out = []
+    for mode in ("none", "long", "long_short"):
+        for dim in (36, 48):
+            job = JobParams(
+                analyses=("all",), dim=dim, n_nodes=128, n_verlet_steps=400,
+                cap_mode=mode, seed=100,
+            )
+            out.append(
+                ScenarioSpec(
+                    name=f"table1/cap-{mode}/dim{dim}/run-to-run",
+                    approach="static",
+                    repeats=7,
+                    job=job,
+                    extras={"kind": "run-to-run"},
+                )
+            )
+            out += [
+                ScenarioSpec(
+                    name=f"table1/cap-{mode}/dim{dim}/job-to-job/seed{101 + i}",
+                    approach="static",
+                    job=JobParams(
+                        analyses=("all",), dim=dim, n_nodes=128,
+                        n_verlet_steps=400, cap_mode=mode, seed=101 + i,
+                    ),
+                    extras={"kind": "job-to-job"},
+                )
+                for i in range(7)
+            ]
+    return out
+
+
+def table2() -> list[ScenarioSpec]:
+    cases = (
+        ("msd-w1", "full_msd", 1),
+        ("msd-w2", "full_msd", 2),
+        ("vacf-w1", "vacf", 1),
+    )
+    out = []
+    for slug, varied, window in cases:
+        for j in (4, 20, 100):
+            out.append(
+                ScenarioSpec(
+                    name=f"table2/{slug}/j{j}",
+                    approach="seesaw",
+                    controller={"window": window},
+                    baseline_sim_share=0.5,
+                    repeats=3,
+                    job=JobParams(
+                        analyses=("rdf", "full_msd", "vacf"), dim=16,
+                        n_nodes=128, n_verlet_steps=400, seed=77,
+                        analysis_intervals={varied: j},
+                    ),
+                    extras={"varied": varied},
+                )
+            )
+    return out
+
+
+SUITES = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "table1": table1,
+    "table2": table2,
+}
+
+
+def main() -> int:
+    SPECS.mkdir(exist_ok=True)
+    hashes: dict[str, str] = {}
+    for name, build in SUITES.items():
+        built = build()
+        if isinstance(built, ScenarioMatrix):
+            doc = {"suite": name, "matrix": built.to_json()}
+            specs = tuple(built.expand())
+            matrix = built
+        else:
+            doc = {"suite": name, "scenarios": [s.to_json() for s in built]}
+            specs = tuple(built)
+            matrix = None
+        problems = [
+            p for s in specs for p in validate_spec(s)
+        ]
+        if problems:
+            for p in problems:
+                print(f"INVALID: {p}", file=sys.stderr)
+            return 1
+        path = SPECS / f"{name}.json"
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        suite = SpecSuite(name=name, path=path, specs=specs, matrix=matrix)
+        hashes[name] = suite_hash(suite)
+        print(f"wrote {path.relative_to(REPO)}: {len(specs)} scenario(s)")
+    hash_path = SPECS / "HASHES.json"
+    hash_path.write_text(json.dumps(hashes, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {hash_path.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
